@@ -1,0 +1,90 @@
+// Shared plumbing for the reproduction benches: flag parsing, scenario
+// header printing, and full-scale extrapolation.
+//
+// Every bench accepts:
+//   --scale=N      universe is 1/N of the paper's 42k prefixes
+//   --days=D       simulated days
+//   --providers=P  exchange peers
+//   --seed=S
+// and prints the paper-comparable rows for its table/figure. Absolute
+// magnitudes are reported both raw and extrapolated to paper scale
+// (multiplied by N); shapes are scale-invariant.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/scenario.h"
+
+namespace iri::bench {
+
+struct Flags {
+  double scale_denominator = 64;
+  double days = 7;
+  int providers = 16;
+  std::uint64_t seed = 1996;
+
+  static Flags Parse(int argc, char** argv, double default_days,
+                     double default_scale_denominator = 64,
+                     int default_providers = 16) {
+    Flags flags;
+    flags.days = default_days;
+    flags.scale_denominator = default_scale_denominator;
+    flags.providers = default_providers;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&arg](const char* name) -> const char* {
+        const std::size_t len = std::strlen(name);
+        if (arg.compare(0, len, name) == 0 && arg.size() > len &&
+            arg[len] == '=') {
+          return arg.c_str() + len + 1;
+        }
+        return nullptr;
+      };
+      if (const char* v = value("--scale")) {
+        flags.scale_denominator = std::atof(v);
+      } else if (const char* v = value("--days")) {
+        flags.days = std::atof(v);
+      } else if (const char* v = value("--providers")) {
+        flags.providers = std::atoi(v);
+      } else if (const char* v = value("--seed")) {
+        flags.seed = static_cast<std::uint64_t>(std::atoll(v));
+      } else if (arg == "--help") {
+        std::printf(
+            "flags: --scale=N --days=D --providers=P --seed=S\n");
+        std::exit(0);
+      }
+    }
+    return flags;
+  }
+
+  workload::ScenarioConfig ToScenarioConfig() const {
+    workload::ScenarioConfig cfg;
+    cfg.topology.scale = 1.0 / scale_denominator;
+    cfg.topology.num_providers = providers;
+    cfg.topology.seed = seed;
+    cfg.seed = seed + 1;
+    cfg.duration = Duration::Days(days);
+    return cfg;
+  }
+};
+
+inline void PrintHeader(const char* title, const Flags& flags) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title);
+  std::printf(
+      "scale 1/%.0f of paper universe | %.0f day(s) | %d providers | seed "
+      "%llu\n",
+      flags.scale_denominator, flags.days, flags.providers,
+      static_cast<unsigned long long>(flags.seed));
+  std::printf("==================================================\n");
+}
+
+// Extrapolates a per-universe count to the paper's full 42k-prefix scale.
+inline double FullScale(double value, const Flags& flags) {
+  return value * flags.scale_denominator;
+}
+
+}  // namespace iri::bench

@@ -1,0 +1,98 @@
+// Figure 5: time-series analysis of hourly update aggregates.
+//  (a) power spectra by FFT correlogram and maximum-entropy (Burg)
+//      estimation — both must peak at 7 days and 24 hours;
+//  (b) top-5 singular-spectrum-analysis components with their frequencies.
+//
+// Preprocessing follows the paper: hourly aggregates over ~2 months,
+// multiplicative model x_t = T_t * I_t, log transform, least-squares
+// detrend.
+#include <cmath>
+
+#include "analysis/spectrum.h"
+#include "analysis/ssa.h"
+#include "bench_common.h"
+#include "core/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace iri;
+  auto flags = bench::Flags::Parse(argc, argv, /*days=*/61,
+                                   /*scale_denominator=*/64,
+                                   /*providers=*/14);
+  bench::PrintHeader(
+      "Figure 5: spectral analysis of hourly instability aggregates", flags);
+
+  auto cfg = flags.ToScenarioConfig();
+  workload::ExchangeScenario scenario(cfg);
+  core::TimeBinner binner(Duration::Hours(1));
+  scenario.monitor().AddSink([&binner](const core::ClassifiedEvent& ev) {
+    if (core::IsInstability(ev.category)) binner.Add(ev.event.time);
+  });
+  scenario.Run();
+  binner.ExtendTo(TimePoint::Origin() + cfg.duration - Duration::Millis(1));
+
+  // Drop the bootstrap day, then detrended-log per the paper.
+  const auto& bins = binner.bins();
+  analysis::Series series(bins.begin() + 24, bins.end());
+  const analysis::Series x = analysis::DetrendedLog(series);
+
+  // --- (a) correlogram + MEM ---
+  const std::size_t max_lag = std::min<std::size_t>(x.size() / 3, 24 * 21);
+  auto fft_spec = analysis::CorrelogramSpectrum(x, max_lag);
+  // The AR order must exceed the longest period of interest (168 h) to
+  // resolve the weekly line.
+  auto mem_spec =
+      analysis::MemSpectrum(x, /*order=*/24 * 8, /*num_points=*/4096);
+
+  auto report_peaks = [](const char* name,
+                         const std::vector<analysis::SpectrumPoint>& spec) {
+    auto peaks = analysis::FindPeaks(spec, 5);
+    std::printf("%s peaks (frequency in 1/hour -> period):\n", name);
+    for (const auto& p : peaks) {
+      std::printf("  f=%.5f /h  period=%7.1f h (%.2f days)  power=%.3g\n",
+                  p.frequency, 1.0 / p.frequency, 1.0 / p.frequency / 24.0,
+                  p.power);
+    }
+    return peaks;
+  };
+  auto fft_peaks = report_peaks("FFT correlogram", fft_spec);
+  auto mem_peaks = report_peaks("MEM (Burg)", mem_spec);
+
+  auto has_peak_near = [](const std::vector<analysis::SpectrumPoint>& peaks,
+                          double period_h, double tol_frac) {
+    for (const auto& p : peaks) {
+      const double period = 1.0 / p.frequency;
+      if (std::abs(period - period_h) < tol_frac * period_h) return true;
+    }
+    return false;
+  };
+  std::printf("\nvalidation (paper: significant frequencies at 7 days and "
+              "24 hours, by both estimators):\n");
+  std::printf("  FFT: 24h peak %s | 7d peak %s\n",
+              has_peak_near(fft_peaks, 24, 0.15) ? "FOUND" : "missing",
+              has_peak_near(fft_peaks, 168, 0.25) ? "FOUND" : "missing");
+  std::printf("  MEM: 24h peak %s | 7d peak %s\n",
+              has_peak_near(mem_peaks, 24, 0.15) ? "FOUND" : "missing",
+              has_peak_near(mem_peaks, 168, 0.25) ? "FOUND" : "missing");
+
+  // --- (b) SSA top components with the paper's white-noise 99% test ---
+  const std::size_t window = 24 * 8;
+  analysis::Ssa ssa(x, window);
+  const double threshold = analysis::WhiteNoiseEigenvalueThreshold(
+      analysis::Variance(x), x.size(), window, /*trials=*/6,
+      /*percentile=*/0.99, /*seed=*/flags.seed);
+  std::printf("\nSSA top 5 components (paper fig 5b; white-noise 99%% "
+              "eigenvalue threshold: %.3g):\n",
+              threshold);
+  for (std::size_t k = 0; k < 5 && k < ssa.components().size(); ++k) {
+    const auto& comp = ssa.components()[k];
+    const double period = comp.dominant_frequency > 0
+                              ? 1.0 / comp.dominant_frequency
+                              : 0.0;
+    std::printf("  #%zu: variance %.1f%%  dominant period %6.1f h (%.2f d)  "
+                "eigenvalue %.3g %s\n",
+                k + 1, comp.variance_fraction * 100, period, period / 24.0,
+                comp.eigenvalue,
+                comp.eigenvalue > threshold ? "SIGNIFICANT" : "(noise-level)");
+  }
+  return 0;
+}

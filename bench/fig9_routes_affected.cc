@@ -1,0 +1,74 @@
+// Figure 9: the proportion of Internet routes (Prefix+AS tuples) touched by
+// at least one routing event each day.
+//
+// Paper shape: 3-10% of routes see >=1 WADiff/day, 5-20% see >=1
+// AADiff/day, and 35-100% (median ~50%) are involved in at least one
+// category of update — i.e., >80% of routes are stable day to day once
+// pathology is discounted.
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace iri;
+  auto flags = bench::Flags::Parse(argc, argv, /*days=*/122,
+                                   /*scale_denominator=*/96,
+                                   /*providers=*/14);
+  bench::PrintHeader("Figure 9: proportion of routes affected per day",
+                     flags);
+
+  auto cfg = flags.ToScenarioConfig();
+  workload::ExchangeScenario scenario(cfg);
+  core::RoutesAffectedDaily affected;
+  scenario.monitor().AddSink(
+      [&affected](const core::ClassifiedEvent& ev) { affected.Add(ev); });
+  scenario.Run();
+  affected.Finalize();
+
+  std::printf("day  WADiff%%  AADiff%%  instab%%  any%%\n");
+  std::vector<double> wadiff, aadiff, instab, any;
+  for (const auto& day : affected.days()) {
+    if (day.day == 0 || day.universe == 0) continue;
+    const double u = static_cast<double>(day.universe);
+    const double w = 100.0 * static_cast<double>(day.routes_with_wadiff) / u;
+    const double a = 100.0 * static_cast<double>(day.routes_with_aadiff) / u;
+    const double i =
+        100.0 * static_cast<double>(day.routes_with_instability) / u;
+    const double n = 100.0 * static_cast<double>(day.routes_with_any) / u;
+    wadiff.push_back(w);
+    aadiff.push_back(a);
+    instab.push_back(i);
+    any.push_back(n);
+    if (day.day % 7 == 3) {  // one sample row per week
+      std::printf("%3d  %6.1f  %6.1f  %6.1f  %5.1f\n", day.day, w, a, i, n);
+    }
+  }
+
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v.empty() ? 0.0 : v[v.size() / 2];
+  };
+  auto range = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v.empty() ? std::pair<double, double>{0, 0}
+                     : std::pair<double, double>{v.front(), v.back()};
+  };
+  const auto [w_lo, w_hi] = range(wadiff);
+  const auto [a_lo, a_hi] = range(aadiff);
+  const auto [n_lo, n_hi] = range(any);
+
+  std::printf("\nsummary over %zu days:\n", wadiff.size());
+  std::printf("  routes with >=1 WADiff/day: median %.1f%%, range "
+              "%.1f-%.1f%%  (paper: 3-10%%)\n",
+              median(wadiff), w_lo, w_hi);
+  std::printf("  routes with >=1 AADiff/day: median %.1f%%, range "
+              "%.1f-%.1f%%  (paper: 5-20%%)\n",
+              median(aadiff), a_lo, a_hi);
+  std::printf("  routes in >=1 any-category event/day: median %.1f%%, range "
+              "%.1f-%.1f%%  (paper: median ~50%%, range 35-100%%)\n",
+              median(any), n_lo, n_hi);
+  std::printf("  => stable-route majority: %.1f%% of routes saw no "
+              "instability on the median day (paper: >80%%)\n",
+              100.0 - median(instab));
+  return 0;
+}

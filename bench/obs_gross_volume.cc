@@ -1,0 +1,69 @@
+// §4 gross observations: daily update volume, updates per network per day,
+// burstiness, and the pathological share.
+//
+// Paper numbers: 42k prefixes yet 3-6M prefix updates/day at the core
+// (~125 updates per network per day), bursts exceeding 100 prefix updates
+// per second, and ~99% of routing information pathological.
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace iri;
+  // Day 0 is a bootstrap Saturday; run through Tuesday and report the
+  // first full weekday (the paper's volumes are business-day figures).
+  auto flags = bench::Flags::Parse(argc, argv, /*days=*/4,
+                                   /*scale_denominator=*/16,
+                                   /*providers=*/16);
+  bench::PrintHeader("Gross observations (§4): volume, burstiness, pathology",
+                     flags);
+
+  auto cfg = flags.ToScenarioConfig();
+  cfg.patho_enabled = true;
+  // A heavy day at the exchange: the pathological ISP's upstream flaps all
+  // day and several stateless providers carry large leaky internal tables.
+  cfg.patho_spray_rate = 400;
+  cfg.internal_reset_foreign_fraction = 0.3;
+  workload::ExchangeScenario scenario(cfg);
+
+  core::CategoryCounts counts;
+  core::TimeBinner second_bins(Duration::Seconds(1));
+  core::DailyCategoryTally daily;
+  scenario.monitor().AddSink([&](const core::ClassifiedEvent& ev) {
+    counts.Add(ev);
+    daily.Add(ev);
+    second_bins.Add(ev.event.time);
+  });
+  scenario.Run();
+
+  // Report the last full weekday, skipping the bootstrap weekend.
+  const auto& day = daily.days().back();
+  const double day_total = static_cast<double>(day.Total());
+  const double prefixes =
+      static_cast<double>(scenario.universe().TotalPrefixes());
+
+  std::printf("universe: %.0f prefixes (%0.f full-scale)\n", prefixes,
+              bench::FullScale(prefixes, flags));
+  std::printf("updates on the reported weekday: %.0f -> full-scale %.2fM/day "
+              "(paper: 3-6M)\n",
+              day_total, bench::FullScale(day_total, flags) / 1e6);
+  std::printf("updates per network per day: %.0f (paper: ~125)\n",
+              day_total / prefixes);
+
+  std::uint64_t max_per_second = 0;
+  for (auto b : second_bins.bins()) max_per_second = std::max(max_per_second, b);
+  std::printf("peak burst: %llu updates/s -> full-scale %.0f/s "
+              "(paper: bursts exceeding 100/s)\n",
+              static_cast<unsigned long long>(max_per_second),
+              bench::FullScale(static_cast<double>(max_per_second), flags));
+
+  const double patho_share =
+      100.0 * static_cast<double>(counts.Pathology()) /
+      static_cast<double>(std::max<std::uint64_t>(1, counts.Total()));
+  std::printf("pathological share of all updates: %.1f%% (paper: ~99%% with "
+              "all exchange-point pathologies summed)\n",
+              patho_share);
+  std::printf("\nfull-run taxonomy:\n%s",
+              core::FormatCategoryReport(counts).c_str());
+  return 0;
+}

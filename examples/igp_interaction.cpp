@@ -1,0 +1,129 @@
+// The IGP/BGP interaction end to end (paper §4.2): a link-state IGP with a
+// fixed-phase 30-second SPF timer redistributes into a border router; an
+// internal link flapping on its own (faster, unrelated) schedule surfaces
+// at the exchange as withdraw/announce trains quantized to the SPF period —
+// and an internal metric oscillation surfaces as tuple-identical MED churn
+// (policy fluctuation / AADup). The collector's inter-arrival histogram
+// shows the 30 s / 1 m concentration of Figure 8 arising mechanistically.
+#include <cstdio>
+
+#include "core/monitor.h"
+#include "core/report.h"
+#include "core/stats.h"
+#include "igp/redistribution.h"
+#include "sim/link.h"
+#include "sim/router.h"
+#include "sim/scheduler.h"
+
+using namespace iri;
+
+int main() {
+  sim::Scheduler sched;
+
+  // --- the AS: a small backbone behind a border router ---
+  igp::IgpProcess backbone(sched, igp::IgpConfig{Duration::Seconds(30)});
+  const auto border_node = backbone.AddNode("border");
+  const auto core = backbone.AddNode("core");
+  const auto pop = backbone.AddNode("pop");
+  backbone.AddLink(border_node, core, 1);
+  // The POP hangs off a single flaky circuit: when it drops, the customer
+  // prefix partitions away entirely (withdrawals, not just metric churn).
+  const auto flaky = backbone.AddLink(core, pop, 1);
+  backbone.SetBorderNode(border_node);
+  const Prefix customer = *Prefix::Parse("204.10.9.0/24");
+  backbone.AttachPrefix(pop, customer);
+
+  // --- the border router and the exchange collector ---
+  sim::RouterConfig border_cfg;
+  border_cfg.name = "border";
+  border_cfg.asn = 701;
+  border_cfg.router_id = IPv4Address(10, 0, 0, 1);
+  border_cfg.interface_addr = IPv4Address(10, 1, 0, 1);
+  border_cfg.packer.interval = Duration::Seconds(30);
+  border_cfg.packer.discipline = bgp::TimerDiscipline::kUnjittered;
+  sim::Router border(sched, border_cfg, 1);
+
+  sim::RouterConfig rs_cfg;
+  rs_cfg.name = "route-server";
+  rs_cfg.asn = 7;
+  rs_cfg.router_id = IPv4Address(198, 32, 0, 1);
+  rs_cfg.interface_addr = IPv4Address(198, 32, 0, 2);
+  rs_cfg.transparent = true;
+  rs_cfg.no_reexport = true;
+  sim::Router rs(sched, rs_cfg, 2);
+
+  sim::Link wire(sched, Duration::Millis(2));
+  border.AttachLink(wire, true, 7);
+  rs.AttachLink(wire, false, 701);
+
+  core::ExchangeMonitor monitor;
+  monitor.Attach(rs);
+  core::CategoryCounts counts;
+  core::InterArrivalHistogram interarrival;
+  std::uint64_t policy_churn = 0;
+  monitor.AddSink([&](const core::ClassifiedEvent& ev) {
+    counts.Add(ev);
+    interarrival.Add(ev);
+    if (ev.policy_fluctuation) ++policy_churn;
+  });
+
+  igp::BgpRedistributor redist(backbone, border, {});
+  sched.At(TimePoint::Origin(), [&wire] { wire.Restore(); });
+  sched.At(TimePoint::Origin() + Duration::Seconds(1), [&backbone] {
+    backbone.Start();
+  });
+
+  // --- phase 1: the flaky internal link beats every ~47 s for 30 min ---
+  // (deliberately incommensurate with the 30 s SPF period; the visible
+  // quantization must come from the timers, not the driver).
+  std::printf("phase 1: internal link flapping every ~47 s for 30 min\n");
+  for (int k = 0; k * 47 < 1800; ++k) {
+    sched.At(TimePoint::Origin() + Duration::Minutes(2) +
+                 Duration::Seconds(47 * k),
+             [&backbone, flaky, k] {
+               backbone.SetLinkUp(flaky, k % 2 == 1);
+             });
+  }
+  sched.RunUntil(TimePoint::Origin() + Duration::Minutes(40));
+  const auto phase1 = counts;
+
+  // --- phase 2: internal metric oscillation (no reachability change) ---
+  std::printf("phase 2: internal cost oscillation for 30 min\n");
+  sched.At(TimePoint::Origin() + Duration::Minutes(44),
+           [&backbone, flaky] { backbone.SetLinkUp(flaky, true); });
+  for (int k = 0; k * 61 < 1800; ++k) {
+    sched.At(TimePoint::Origin() + Duration::Minutes(45) +
+                 Duration::Seconds(61 * k),
+             [&backbone, flaky, k] {
+               backbone.SetLinkCost(flaky, k % 2 ? 1 : 4);
+             });
+  }
+  sched.RunUntil(TimePoint::Origin() + Duration::Minutes(80));
+  interarrival.Finalize();
+
+  std::printf("\n=== collector taxonomy ===\n%s\n",
+              core::FormatCategoryReport(counts).c_str());
+  std::printf("phase 1 (reachability flaps): %llu withdrawals, %llu WADup, "
+              "%llu WADiff\n",
+              static_cast<unsigned long long>(phase1.withdrawals),
+              static_cast<unsigned long long>(
+                  phase1.Of(core::Category::kWADup)),
+              static_cast<unsigned long long>(
+                  phase1.Of(core::Category::kWADiff)));
+  std::printf("phase 2 (metric oscillation): %llu tuple-identical policy "
+              "fluctuations (AADup at the collector)\n",
+              static_cast<unsigned long long>(policy_churn));
+
+  const auto summary = interarrival.Summarize();
+  const auto& labels = core::InterArrivalHistogram::BinLabels();
+  std::printf("\ninter-arrival distribution at the collector (AADup):\n");
+  for (std::size_t bin = 0; bin < labels.size(); ++bin) {
+    std::printf("%4s %.2f %s\n", labels[bin], summary[2][bin].median,
+                core::AsciiBar(summary[2][bin].median, 0.8, 40).c_str());
+  }
+  std::printf("\nthe driver flapped at 47 s and 61 s periods, yet the "
+              "collector sees 30 s/1 m gaps: the SPF timer and the flush "
+              "timer quantize everything to their shared 30-second grid — "
+              "the paper's conjectured IGP/BGP mechanism, reproduced.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "analysis/series.h"
+
+#include <cmath>
+
+namespace iri::analysis {
+
+double Mean(const Series& x) {
+  if (x.empty()) return 0;
+  double sum = 0;
+  for (double v : x) sum += v;
+  return sum / static_cast<double>(x.size());
+}
+
+double Variance(const Series& x) {
+  if (x.empty()) return 0;
+  const double mu = Mean(x);
+  double sum = 0;
+  for (double v : x) sum += (v - mu) * (v - mu);
+  return sum / static_cast<double>(x.size());
+}
+
+LinearFit FitLine(const Series& x) {
+  const std::size_t n = x.size();
+  if (n < 2) return {n == 1 ? x[0] : 0.0, 0.0};
+  // Closed-form least squares with t = 0..n-1.
+  const double nf = static_cast<double>(n);
+  const double t_mean = (nf - 1) / 2.0;
+  const double x_mean = Mean(x);
+  double cov = 0, var_t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dt = static_cast<double>(i) - t_mean;
+    cov += dt * (x[i] - x_mean);
+    var_t += dt * dt;
+  }
+  const double slope = var_t == 0 ? 0 : cov / var_t;
+  return {x_mean - slope * t_mean, slope};
+}
+
+LinearFit Detrend(Series& x) {
+  const LinearFit fit = FitLine(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] -= fit.intercept + fit.slope * static_cast<double>(i);
+  }
+  return fit;
+}
+
+Series LogTransform(const Series& x, double floor) {
+  Series out;
+  out.reserve(x.size());
+  for (double v : x) out.push_back(std::log(v > floor ? v : floor));
+  return out;
+}
+
+Series DetrendedLog(const Series& x) {
+  Series out = LogTransform(x);
+  Detrend(out);
+  return out;
+}
+
+Series Autocovariance(const Series& x, std::size_t max_lag) {
+  const std::size_t n = x.size();
+  const double mu = Mean(x);
+  Series c(max_lag + 1, 0.0);
+  if (n == 0) return c;
+  for (std::size_t k = 0; k <= max_lag && k < n; ++k) {
+    double sum = 0;
+    for (std::size_t t = 0; t + k < n; ++t) {
+      sum += (x[t] - mu) * (x[t + k] - mu);
+    }
+    c[k] = sum / static_cast<double>(n);  // biased: PSD-preserving
+  }
+  return c;
+}
+
+Series Autocorrelation(const Series& x, std::size_t max_lag) {
+  Series c = Autocovariance(x, max_lag);
+  const double c0 = c.empty() ? 0 : c[0];
+  if (c0 > 0) {
+    for (double& v : c) v /= c0;
+  }
+  return c;
+}
+
+}  // namespace iri::analysis

@@ -1,0 +1,46 @@
+// Basic time-series operations used by the spectral analyses of Figure 5.
+//
+// The paper's preprocessing (after Bloomfield's treatment of the Beveridge
+// wheat-price series): model the update rate as x_t = T_t * I_t, work on
+// log x_t = log T_t + log I_t, estimate the trend by least squares and
+// subtract it, leaving log I_t oscillating about zero. "This avoids adding
+// frequency biases that can be introduced due to linear filtering."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iri::analysis {
+
+using Series = std::vector<double>;
+
+double Mean(const Series& x);
+double Variance(const Series& x);  // population variance
+
+// Least-squares straight-line fit y = a + b*t over t = 0..n-1.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+};
+LinearFit FitLine(const Series& x);
+
+// Subtracts the least-squares line in place; returns the removed fit.
+LinearFit Detrend(Series& x);
+
+// log(max(x_i, floor)) element-wise; `floor` guards empty bins (a count of
+// zero must not produce -inf — the paper works on aggregated counts that
+// are occasionally zero at night).
+Series LogTransform(const Series& x, double floor = 0.5);
+
+// The full paper-style preprocessing: log, then linear detrend.
+Series DetrendedLog(const Series& x);
+
+// Biased autocovariance estimates c_k for k = 0..max_lag (normalizing by n,
+// which keeps the sequence positive semi-definite — required by both the
+// correlogram and the SSA covariance matrix).
+Series Autocovariance(const Series& x, std::size_t max_lag);
+
+// Autocorrelation r_k = c_k / c_0.
+Series Autocorrelation(const Series& x, std::size_t max_lag);
+
+}  // namespace iri::analysis

@@ -1,0 +1,164 @@
+#include "analysis/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace iri::analysis {
+
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  // n must be a power of two.
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson–Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& c : data) c /= static_cast<double>(n);
+  }
+}
+
+std::vector<SpectrumPoint> CorrelogramSpectrum(const Series& x,
+                                               std::size_t max_lag) {
+  if (x.size() < 4) return {};
+  max_lag = std::min(max_lag, x.size() - 1);
+  Series acov = Autocovariance(x, max_lag);
+
+  // Bartlett (triangular) lag window against leakage.
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    acov[k] *= 1.0 - static_cast<double>(k) / static_cast<double>(max_lag + 1);
+  }
+
+  // Symmetric extension, zero-padded to a power of two for the FFT.
+  const std::size_t n = NextPow2(2 * max_lag + 2);
+  std::vector<std::complex<double>> buf(n, 0.0);
+  buf[0] = acov[0];
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    buf[k] = acov[k];
+    buf[n - k] = acov[k];
+  }
+  Fft(buf);
+
+  std::vector<SpectrumPoint> out;
+  out.reserve(n / 2);
+  for (std::size_t i = 1; i <= n / 2; ++i) {
+    out.push_back({static_cast<double>(i) / static_cast<double>(n),
+                   std::max(0.0, buf[i].real())});
+  }
+  return out;
+}
+
+double BurgModel::PowerAt(double frequency) const {
+  std::complex<double> denom(1.0, 0.0);
+  for (std::size_t k = 0; k < coefficients.size(); ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * frequency * static_cast<double>(k + 1);
+    denom -= coefficients[k] *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  const double mag2 = std::norm(denom);
+  return mag2 <= 0 ? 0 : noise_variance / mag2;
+}
+
+BurgModel BurgFit(const Series& x, std::size_t order) {
+  const std::size_t n = x.size();
+  BurgModel model;
+  if (n < 2 || order == 0) return model;
+  order = std::min(order, n - 1);
+
+  // Burg recursion: forward/backward prediction errors.
+  Series f(x), b(x);
+  Series a;  // current AR coefficients
+  double e = 0;
+  for (double v : x) e += v * v;
+  e /= static_cast<double>(n);
+
+  for (std::size_t m = 1; m <= order; ++m) {
+    // Reflection coefficient k_m maximizing entropy.
+    double num = 0, den = 0;
+    for (std::size_t t = m; t < n; ++t) {
+      num += f[t] * b[t - 1];
+      den += f[t] * f[t] + b[t - 1] * b[t - 1];
+    }
+    const double k = den == 0 ? 0 : 2.0 * num / den;
+
+    // Levinson update of the coefficient vector.
+    Series a_new(m);
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      a_new[i] = a[i] - k * a[m - 2 - i];
+    }
+    a_new[m - 1] = k;
+    a = std::move(a_new);
+
+    // Update prediction errors (order matters: use old values).
+    for (std::size_t t = n - 1; t >= m; --t) {
+      const double f_old = f[t];
+      const double b_old = b[t - 1];
+      f[t] = f_old - k * b_old;
+      b[t] = b_old - k * f_old;
+    }
+    e *= (1.0 - k * k);
+    if (e <= 0) break;  // perfect fit: stop before numerical trouble
+  }
+  model.coefficients = std::move(a);
+  model.noise_variance = e;
+  return model;
+}
+
+std::vector<SpectrumPoint> MemSpectrum(const Series& x, std::size_t order,
+                                       std::size_t num_points) {
+  const BurgModel model = BurgFit(x, order);
+  std::vector<SpectrumPoint> out;
+  out.reserve(num_points);
+  for (std::size_t i = 1; i <= num_points; ++i) {
+    const double f =
+        0.5 * static_cast<double>(i) / static_cast<double>(num_points);
+    out.push_back({f, model.PowerAt(f)});
+  }
+  return out;
+}
+
+std::vector<SpectrumPoint> FindPeaks(const std::vector<SpectrumPoint>& spec,
+                                     std::size_t max_peaks) {
+  std::vector<SpectrumPoint> peaks;
+  for (std::size_t i = 1; i + 1 < spec.size(); ++i) {
+    if (spec[i].power > spec[i - 1].power &&
+        spec[i].power >= spec[i + 1].power) {
+      peaks.push_back(spec[i]);
+    }
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const SpectrumPoint& a, const SpectrumPoint& b) {
+              return a.power > b.power;
+            });
+  if (peaks.size() > max_peaks) peaks.resize(max_peaks);
+  return peaks;
+}
+
+}  // namespace iri::analysis

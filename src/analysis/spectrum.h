@@ -1,0 +1,58 @@
+// Spectral estimation: FFT correlogram and maximum-entropy (Burg) methods.
+//
+// Figure 5a overlays two independent estimators of the power spectrum of
+// the detrended log update-rate series — "These two approaches differ in
+// their estimation methods, and provide a mechanism for validation of
+// results" — and both must peak at 1/(7 days) and 1/(24 hours).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/series.h"
+
+namespace iri::analysis {
+
+// In-place radix-2 complex FFT (inverse when `inverse`). `data.size()` must
+// be a power of two.
+void Fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+// Smallest power of two >= n.
+std::size_t NextPow2(std::size_t n);
+
+// One (frequency, power) sample of an estimated spectrum. Frequency is in
+// cycles per sample; multiply by the sampling rate for physical units.
+struct SpectrumPoint {
+  double frequency = 0;
+  double power = 0;
+};
+
+// Correlogram (Blackman–Tukey) estimate: FFT of the lag-windowed
+// autocovariance sequence. `max_lag` trades resolution against variance;
+// a Bartlett taper suppresses leakage. Returns points for frequencies in
+// (0, 0.5] cycles/sample.
+std::vector<SpectrumPoint> CorrelogramSpectrum(const Series& x,
+                                               std::size_t max_lag);
+
+// Burg maximum-entropy AR(p) fit.
+struct BurgModel {
+  std::vector<double> coefficients;  // a_1..a_p in x_t = sum a_i x_{t-i} + e
+  double noise_variance = 0;
+
+  // Evaluates the AR spectral density at `frequency` cycles/sample.
+  double PowerAt(double frequency) const;
+};
+
+BurgModel BurgFit(const Series& x, std::size_t order);
+
+// Convenience: evaluates the Burg spectrum at `num_points` frequencies
+// spanning (0, 0.5].
+std::vector<SpectrumPoint> MemSpectrum(const Series& x, std::size_t order,
+                                       std::size_t num_points);
+
+// Local maxima of a spectrum, strongest first, at most `max_peaks`.
+std::vector<SpectrumPoint> FindPeaks(const std::vector<SpectrumPoint>& spec,
+                                     std::size_t max_peaks);
+
+}  // namespace iri::analysis

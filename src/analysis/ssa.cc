@@ -1,0 +1,197 @@
+#include "analysis/ssa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numeric>
+
+#include "analysis/spectrum.h"
+#include "netbase/rng.h"
+
+namespace iri::analysis {
+
+EigenResult JacobiEigenSymmetric(std::vector<double> a, std::size_t n) {
+  EigenResult result;
+  result.n = n;
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diagonal_norm = [&a, n] {
+    double sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) sum += a[i * n + j] * a[i * n + j];
+    }
+    return sum;
+  };
+
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (off_diagonal_norm() < 1e-20) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-18) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue, permuting columns.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&a, n](std::size_t x, std::size_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+  result.values.resize(n);
+  result.vectors.assign(n * n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.values[k] = a[order[k] * n + order[k]];
+    for (std::size_t row = 0; row < n; ++row) {
+      result.vectors[row * n + k] = v[row * n + order[k]];
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Dominant frequency of an eigenvector via zero-padded periodogram.
+double DominantFrequency(const std::vector<double>& eof) {
+  const std::size_t n = NextPow2(eof.size() * 8);
+  std::vector<std::complex<double>> buf(n, 0.0);
+  for (std::size_t i = 0; i < eof.size(); ++i) buf[i] = eof[i];
+  Fft(buf);
+  double best_power = -1;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n / 2; ++i) {
+    const double p = std::norm(buf[i]);
+    if (p > best_power) {
+      best_power = p;
+      best = i;
+    }
+  }
+  return static_cast<double>(best) / static_cast<double>(n);
+}
+
+}  // namespace
+
+Ssa::Ssa(const Series& x, std::size_t window)
+    : window_(window), length_(x.size()) {
+  if (x.size() < 2 * window || window < 2) return;
+  const std::size_t m = window;
+
+  // Toeplitz lag-covariance matrix (Vautard–Ghil estimator).
+  const Series acov = Autocovariance(x, m - 1);
+  std::vector<double> cov(m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      cov[i * m + j] = acov[i > j ? i - j : j - i];
+    }
+  }
+
+  EigenResult eig = JacobiEigenSymmetric(std::move(cov), m);
+  double trace = 0;
+  for (double val : eig.values) trace += std::max(0.0, val);
+
+  const std::size_t n_pc = length_ - m + 1;
+  components_.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    SsaComponent comp;
+    comp.eigenvalue = eig.values[k];
+    comp.variance_fraction = trace > 0 ? std::max(0.0, eig.values[k]) / trace : 0;
+
+    std::vector<double> eof(m);
+    for (std::size_t j = 0; j < m; ++j) eof[j] = eig.Vector(j, k);
+    comp.dominant_frequency = DominantFrequency(eof);
+
+    // Principal component a_k(t) = sum_j x(t+j) e_k(j).
+    Series pc(n_pc, 0.0);
+    for (std::size_t t = 0; t < n_pc; ++t) {
+      double sum = 0;
+      for (std::size_t j = 0; j < m; ++j) sum += x[t + j] * eof[j];
+      pc[t] = sum;
+    }
+
+    // Diagonal-averaged reconstruction back to the full series length.
+    comp.reconstructed.assign(length_, 0.0);
+    for (std::size_t t = 0; t < length_; ++t) {
+      double sum = 0;
+      std::size_t count = 0;
+      const std::size_t j_lo = t + 1 >= n_pc ? t + 1 - n_pc : 0;
+      const std::size_t j_hi = std::min(m - 1, t);
+      for (std::size_t j = j_lo; j <= j_hi; ++j) {
+        sum += pc[t - j] * eof[j];
+        ++count;
+      }
+      comp.reconstructed[t] = count > 0 ? sum / static_cast<double>(count) : 0;
+    }
+    components_.push_back(std::move(comp));
+  }
+}
+
+double WhiteNoiseEigenvalueThreshold(double variance,
+                                     std::size_t series_length,
+                                     std::size_t window, int trials,
+                                     double percentile, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> pooled;
+  pooled.reserve(static_cast<std::size_t>(trials) * window);
+  const double sd = std::sqrt(std::max(0.0, variance));
+  for (int t = 0; t < trials; ++t) {
+    Series noise(series_length);
+    for (double& v : noise) v = rng.Normal(0.0, sd);
+    const Series acov = Autocovariance(noise, window - 1);
+    std::vector<double> cov(window * window);
+    for (std::size_t i = 0; i < window; ++i) {
+      for (std::size_t j = 0; j < window; ++j) {
+        cov[i * window + j] = acov[i > j ? i - j : j - i];
+      }
+    }
+    EigenResult eig = JacobiEigenSymmetric(std::move(cov), window);
+    for (double v : eig.values) pooled.push_back(v);
+  }
+  std::sort(pooled.begin(), pooled.end());
+  const double pos =
+      percentile * static_cast<double>(pooled.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, pooled.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return pooled[lo] * (1 - frac) + pooled[hi] * frac;
+}
+
+Series Ssa::Reconstruct(std::size_t k) const {
+  Series out(length_, 0.0);
+  for (std::size_t i = 0; i < k && i < components_.size(); ++i) {
+    for (std::size_t t = 0; t < length_; ++t) {
+      out[t] += components_[i].reconstructed[t];
+    }
+  }
+  return out;
+}
+
+}  // namespace iri::analysis

@@ -1,0 +1,68 @@
+// Singular spectrum analysis (Vautard–Ghil), after the SSA toolkit the paper
+// cites [4] — used in Figure 5b to extract the top five oscillatory
+// components (weekly and daily cycles) with their frequencies.
+//
+// Method: embed the series in an M-dimensional lag space, form the M×M
+// Toeplitz lag-covariance matrix, eigendecompose it (Jacobi rotations — M is
+// small), and reconstruct each component back in the time domain. Each
+// eigenvector's dominant frequency is read off its periodogram.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/series.h"
+
+namespace iri::analysis {
+
+// Eigen decomposition of a symmetric matrix by cyclic Jacobi rotations.
+// `matrix` is row-major n*n. Results are sorted by descending eigenvalue;
+// eigenvectors are the *columns* of the returned basis, stored row-major.
+struct EigenResult {
+  std::vector<double> values;
+  std::vector<double> vectors;  // row-major n*n; column k = eigenvector k
+  std::size_t n = 0;
+
+  double Vector(std::size_t row, std::size_t k) const {
+    return vectors[row * n + k];
+  }
+};
+EigenResult JacobiEigenSymmetric(std::vector<double> matrix, std::size_t n);
+
+struct SsaComponent {
+  double eigenvalue = 0;
+  double variance_fraction = 0;  // eigenvalue / trace
+  double dominant_frequency = 0; // cycles per sample, from the EOF
+  Series reconstructed;          // component mapped back to the time domain
+};
+
+class Ssa {
+ public:
+  // Decomposes `x` with embedding window `window` (M). Components are
+  // ordered by descending variance.
+  Ssa(const Series& x, std::size_t window);
+
+  const std::vector<SsaComponent>& components() const { return components_; }
+
+  // Sum of the first `k` reconstructed components.
+  Series Reconstruct(std::size_t k) const;
+
+ private:
+  std::size_t window_ = 0;
+  std::size_t length_ = 0;
+  std::vector<SsaComponent> components_;
+};
+
+// Monte Carlo significance threshold for SSA eigenvalues, after the paper's
+// methodology: "These frequencies lie in a 99% confidence interval
+// generated using white noise on the data." Generates `trials` white-noise
+// surrogates with the given variance and length, runs the same lag-
+// covariance eigendecomposition, and returns the pooled `percentile`
+// eigenvalue. A real component whose eigenvalue exceeds this threshold
+// carries more structure than noise can explain.
+double WhiteNoiseEigenvalueThreshold(double variance,
+                                     std::size_t series_length,
+                                     std::size_t window, int trials,
+                                     double percentile, std::uint64_t seed);
+
+}  // namespace iri::analysis

@@ -1,0 +1,99 @@
+#include "bgp/aggregation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace iri::bgp {
+namespace {
+
+// Merges attributes of two forwarding-equivalent sibling routes.
+PathAttributes MergeAttributes(const PathAttributes& a,
+                               const PathAttributes& b) {
+  PathAttributes out = a;
+  if (a.origin != b.origin) out.origin = Origin::kIncomplete;
+  if (a.med != b.med) out.med.reset();
+  if (a.local_pref != b.local_pref) out.local_pref.reset();
+  // Communities: intersection (only tags true of all components survive).
+  std::vector<Community> common;
+  std::set_intersection(a.communities.begin(), a.communities.end(),
+                        b.communities.begin(), b.communities.end(),
+                        std::back_inserter(common));
+  out.communities = std::move(common);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Route> AggregateSiblings(std::vector<Route> routes) {
+  // Ordered map gives address order and puts siblings adjacent.
+  std::map<Prefix, PathAttributes> table;
+  for (auto& r : routes) table[r.prefix] = std::move(r.attributes);
+
+  // Iterate to fixpoint; each pass merges at least one sibling pair or
+  // terminates. Work from longest prefixes up so merges cascade.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (auto it = table.begin(); it != table.end(); ++it) {
+      const Prefix& p = it->first;
+      if (p.length() == 0) continue;
+      const Prefix parent = p.Parent();
+      const Prefix lower = parent.LowerHalf();
+      const Prefix upper = parent.UpperHalf();
+      if (!(p == lower)) continue;  // visit each pair once, from its low half
+      auto upper_it = table.find(upper);
+      if (upper_it == table.end()) continue;
+      if (!it->second.ForwardingEquivalent(upper_it->second)) continue;
+      if (table.contains(parent)) continue;  // parent already announced
+      PathAttributes merged_attrs =
+          MergeAttributes(it->second, upper_it->second);
+      table.erase(upper_it);
+      table.erase(it);
+      table.emplace(parent, std::move(merged_attrs));
+      merged = true;
+      break;  // iterators invalidated; restart the scan
+    }
+  }
+
+  std::vector<Route> out;
+  out.reserve(table.size());
+  for (auto& [prefix, attrs] : table) out.push_back({prefix, std::move(attrs)});
+  return out;
+}
+
+std::optional<Route> AggregateIntoBlock(const Prefix& block,
+                                        const std::vector<Route>& components,
+                                        Asn aggregator_asn,
+                                        IPv4Address aggregator_id,
+                                        IPv4Address next_hop) {
+  std::set<Asn> foreign_origins;
+  bool any = false;
+  Origin origin = Origin::kIgp;
+  for (const Route& r : components) {
+    if (!block.Covers(r.prefix)) continue;
+    any = true;
+    if (r.attributes.origin > origin) origin = r.attributes.origin;
+    const Asn o = r.attributes.as_path.OriginAsn();
+    if (o != 0 && o != aggregator_asn) foreign_origins.insert(o);
+  }
+  if (!any) return std::nullopt;
+
+  Route aggregate;
+  aggregate.prefix = block;
+  aggregate.attributes.origin = origin;
+  aggregate.attributes.next_hop = next_hop;
+  aggregate.attributes.atomic_aggregate = true;
+  aggregate.attributes.aggregator = Aggregator{aggregator_asn, aggregator_id};
+  AsPath path = AsPath::Sequence({aggregator_asn});
+  if (!foreign_origins.empty()) {
+    AsPathSegment set_seg;
+    set_seg.type = AsPathSegment::Type::kSet;
+    set_seg.asns.assign(foreign_origins.begin(), foreign_origins.end());
+    path.segments().push_back(std::move(set_seg));
+  }
+  aggregate.attributes.as_path = std::move(path);
+  return aggregate;
+}
+
+}  // namespace iri::bgp

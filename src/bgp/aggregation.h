@@ -1,0 +1,39 @@
+// CIDR route aggregation (RFC 1338 / RFC 1520 supernetting).
+//
+// Aggregation is the paper's primary instability-containment mechanism: "an
+// autonomous system will maintain a path to an aggregate supernet prefix as
+// long as a path to one or more of the component prefixes is available",
+// hiding edge instability inside the AS. The workload generator uses
+// AggregateIntoBlock for well-aggregated providers; multi-homed customer
+// prefixes must bypass it (they need global visibility), which is exactly
+// why multi-homing growth erodes aggregation in Figure 10.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route.h"
+
+namespace iri::bgp {
+
+// Bottom-up pairwise aggregation: repeatedly replaces two sibling prefixes
+// with forwarding-equivalent attributes by their parent. Attributes of the
+// merged route keep the shared (next_hop, as_path); differing origins
+// degrade to INCOMPLETE; differing MEDs are dropped. Returns the minimal
+// equivalent route set, in address order.
+std::vector<Route> AggregateSiblings(std::vector<Route> routes);
+
+// Provider-style aggregation: emits one supernet `block` announcement when
+// at least one component route inside the block is present. The aggregate
+// carries ATOMIC_AGGREGATE and an AGGREGATOR attribute naming the
+// aggregating AS; origin ASes of the components that differ from the
+// aggregator are collected into a trailing AS_SET segment (loop-detection
+// information is preserved across the aggregation, per RFC 1771 §9.2.2.2).
+// Returns nullopt when no component is inside the block.
+std::optional<Route> AggregateIntoBlock(const Prefix& block,
+                                        const std::vector<Route>& components,
+                                        Asn aggregator_asn,
+                                        IPv4Address aggregator_id,
+                                        IPv4Address next_hop);
+
+}  // namespace iri::bgp

@@ -1,0 +1,183 @@
+#include "bgp/attributes.h"
+
+#include <algorithm>
+
+namespace iri::bgp {
+namespace {
+
+// Attribute flag bits (high nibble of the flags octet).
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+
+// Emits one attribute TLV: flags, type, length (1 or 2 bytes), body.
+void EmitAttr(ByteWriter& out, std::uint8_t flags, AttrType type,
+              const ByteWriter& body) {
+  const std::size_t len = body.size();
+  if (len > 255) flags |= kFlagExtendedLength;
+  out.U8(flags);
+  out.U8(static_cast<std::uint8_t>(type));
+  if (flags & kFlagExtendedLength) {
+    out.U16(static_cast<std::uint16_t>(len));
+  } else {
+    out.U8(static_cast<std::uint8_t>(len));
+  }
+  out.Bytes(body.data());
+}
+
+void EncodeAsPath(const AsPath& path, ByteWriter& body) {
+  for (const auto& seg : path.segments()) {
+    body.U8(static_cast<std::uint8_t>(seg.type));
+    body.U8(static_cast<std::uint8_t>(seg.asns.size()));
+    for (Asn asn : seg.asns) body.U16(static_cast<std::uint16_t>(asn));
+  }
+}
+
+AsPath DecodeAsPath(ByteReader& in, std::size_t len) {
+  AsPath path;
+  const std::size_t end = in.position() + len;
+  while (in.ok() && in.position() < end) {
+    AsPathSegment seg;
+    const std::uint8_t type = in.U8();
+    if (type != static_cast<std::uint8_t>(AsPathSegment::Type::kSet) &&
+        type != static_cast<std::uint8_t>(AsPathSegment::Type::kSequence)) {
+      in.MarkBad();
+      return path;
+    }
+    seg.type = static_cast<AsPathSegment::Type>(type);
+    const std::uint8_t count = in.U8();
+    seg.asns.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) seg.asns.push_back(in.U16());
+    path.segments().push_back(std::move(seg));
+  }
+  if (in.position() != end) in.MarkBad();
+  return path;
+}
+
+}  // namespace
+
+void EncodeAttributes(const PathAttributes& attrs, ByteWriter& out) {
+  {  // ORIGIN: well-known mandatory.
+    ByteWriter body;
+    body.U8(static_cast<std::uint8_t>(attrs.origin));
+    EmitAttr(out, kFlagTransitive, AttrType::kOrigin, body);
+  }
+  {  // AS_PATH: well-known mandatory (may be zero segments for local routes).
+    ByteWriter body;
+    EncodeAsPath(attrs.as_path, body);
+    EmitAttr(out, kFlagTransitive, AttrType::kAsPath, body);
+  }
+  {  // NEXT_HOP: well-known mandatory.
+    ByteWriter body;
+    body.U32(attrs.next_hop.bits());
+    EmitAttr(out, kFlagTransitive, AttrType::kNextHop, body);
+  }
+  if (attrs.med) {  // optional non-transitive
+    ByteWriter body;
+    body.U32(*attrs.med);
+    EmitAttr(out, kFlagOptional, AttrType::kMultiExitDisc, body);
+  }
+  if (attrs.local_pref) {  // well-known discretionary
+    ByteWriter body;
+    body.U32(*attrs.local_pref);
+    EmitAttr(out, kFlagTransitive, AttrType::kLocalPref, body);
+  }
+  if (attrs.atomic_aggregate) {  // well-known discretionary, empty body
+    ByteWriter body;
+    EmitAttr(out, kFlagTransitive, AttrType::kAtomicAggregate, body);
+  }
+  if (attrs.aggregator) {  // optional transitive
+    ByteWriter body;
+    body.U16(static_cast<std::uint16_t>(attrs.aggregator->asn));
+    body.U32(attrs.aggregator->router_id.bits());
+    EmitAttr(out, kFlagOptional | kFlagTransitive, AttrType::kAggregator, body);
+  }
+  if (!attrs.communities.empty()) {  // optional transitive (RFC 1997)
+    ByteWriter body;
+    std::vector<Community> sorted = attrs.communities;
+    std::sort(sorted.begin(), sorted.end());
+    for (Community c : sorted) body.U32(c);
+    EmitAttr(out, kFlagOptional | kFlagTransitive, AttrType::kCommunity, body);
+  }
+}
+
+PathAttributes DecodeAttributes(ByteReader& in, std::size_t total_len) {
+  PathAttributes attrs;
+  const std::size_t end = in.position() + total_len;
+  while (in.ok() && in.position() < end) {
+    const std::uint8_t flags = in.U8();
+    const std::uint8_t type = in.U8();
+    const std::size_t len =
+        (flags & kFlagExtendedLength) ? in.U16() : in.U8();
+    if (!in.ok()) break;
+    const std::size_t body_end = in.position() + len;
+    switch (static_cast<AttrType>(type)) {
+      case AttrType::kOrigin: {
+        const std::uint8_t o = in.U8();
+        if (o > 2) { in.MarkBad(); return attrs; }
+        attrs.origin = static_cast<Origin>(o);
+        break;
+      }
+      case AttrType::kAsPath:
+        attrs.as_path = DecodeAsPath(in, len);
+        break;
+      case AttrType::kNextHop:
+        attrs.next_hop = IPv4Address(in.U32());
+        break;
+      case AttrType::kMultiExitDisc:
+        attrs.med = in.U32();
+        break;
+      case AttrType::kLocalPref:
+        attrs.local_pref = in.U32();
+        break;
+      case AttrType::kAtomicAggregate:
+        attrs.atomic_aggregate = true;
+        break;
+      case AttrType::kAggregator: {
+        Aggregator agg;
+        agg.asn = in.U16();
+        agg.router_id = IPv4Address(in.U32());
+        attrs.aggregator = agg;
+        break;
+      }
+      case AttrType::kCommunity: {
+        if (len % 4 != 0) { in.MarkBad(); return attrs; }
+        for (std::size_t i = 0; i < len / 4; ++i) {
+          attrs.communities.push_back(in.U32());
+        }
+        break;
+      }
+      default:
+        // Unknown optional attributes are skipped (transitive semantics are
+        // out of scope: the monitor only classifies, it does not re-announce
+        // unknown attributes).
+        in.Skip(len);
+        break;
+    }
+    if (in.position() != body_end) {
+      in.MarkBad();
+      return attrs;
+    }
+  }
+  if (in.position() != end) in.MarkBad();
+  return attrs;
+}
+
+std::string PathAttributes::ToString() const {
+  std::string out = "nh=" + next_hop.ToString() + " path=[" +
+                    as_path.ToString() + "] origin=" + bgp::ToString(origin);
+  if (local_pref) out += " lp=" + std::to_string(*local_pref);
+  if (med) out += " med=" + std::to_string(*med);
+  if (atomic_aggregate) out += " atomic";
+  if (!communities.empty()) {
+    out += " comm=";
+    for (std::size_t i = 0; i < communities.size(); ++i) {
+      if (i) out.push_back(',');
+      out += std::to_string(communities[i] >> 16) + ":" +
+             std::to_string(communities[i] & 0xFFFF);
+    }
+  }
+  return out;
+}
+
+}  // namespace iri::bgp

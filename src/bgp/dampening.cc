@@ -1,0 +1,95 @@
+#include "bgp/dampening.h"
+
+#include <cmath>
+
+namespace iri::bgp {
+
+double DampeningParams::MaxPenalty() const {
+  // penalty * 2^(-max_hold/half_life) == reuse_threshold at the ceiling.
+  return reuse_threshold * std::exp2(max_hold_time / half_life);
+}
+
+void Dampener::Decay(RouteState& st, TimePoint now) {
+  if (now > st.last_update) {
+    const double half_lives = (now - st.last_update) / params_.half_life;
+    st.penalty *= std::exp2(-half_lives);
+    st.last_update = now;
+  }
+  if (st.suppressed) {
+    const bool held_too_long =
+        now - st.suppressed_since >= params_.max_hold_time;
+    if (st.penalty < params_.reuse_threshold || held_too_long) {
+      st.suppressed = false;
+    }
+  }
+}
+
+DampVerdict Dampener::AddPenalty(const PrefixPeer& key, TimePoint now,
+                                 double amount) {
+  RouteState& st = state_[key];
+  if (st.last_update == TimePoint()) st.last_update = now;
+  Decay(st, now);
+  const bool was_suppressed = st.suppressed;
+  st.penalty = std::min(st.penalty + amount, params_.MaxPenalty());
+  if (!st.suppressed && st.penalty >= params_.suppress_threshold) {
+    st.suppressed = true;
+    st.suppressed_since = now;
+    return was_suppressed ? DampVerdict::kStillDamped : DampVerdict::kSuppressed;
+  }
+  return st.suppressed ? DampVerdict::kStillDamped : DampVerdict::kPass;
+}
+
+DampVerdict Dampener::OnWithdraw(const PrefixPeer& key, TimePoint now) {
+  return AddPenalty(key, now, params_.withdrawal_penalty);
+}
+
+DampVerdict Dampener::OnAnnounce(const PrefixPeer& key, TimePoint now,
+                                 bool attribute_change) {
+  return AddPenalty(key, now,
+                    attribute_change ? params_.attribute_change_penalty
+                                     : params_.readvertisement_penalty);
+}
+
+bool Dampener::IsSuppressed(const PrefixPeer& key, TimePoint now) {
+  auto it = state_.find(key);
+  if (it == state_.end()) return false;
+  Decay(it->second, now);
+  return it->second.suppressed;
+}
+
+double Dampener::Penalty(const PrefixPeer& key, TimePoint now) {
+  auto it = state_.find(key);
+  if (it == state_.end()) return 0.0;
+  Decay(it->second, now);
+  return it->second.penalty;
+}
+
+TimePoint Dampener::ReuseTime(const PrefixPeer& key, TimePoint now) {
+  auto it = state_.find(key);
+  if (it == state_.end()) return now;
+  Decay(it->second, now);
+  const RouteState& st = it->second;
+  if (!st.suppressed) return now;
+  // Solve penalty * 2^(-t/half_life) == reuse_threshold for t.
+  const double half_lives = std::log2(st.penalty / params_.reuse_threshold);
+  const TimePoint by_decay = now + params_.half_life * half_lives;
+  const TimePoint by_max_hold = st.suppressed_since + params_.max_hold_time;
+  return std::min(by_decay, by_max_hold);
+}
+
+std::size_t Dampener::Sweep(TimePoint now) {
+  std::size_t removed = 0;
+  for (auto it = state_.begin(); it != state_.end();) {
+    Decay(it->second, now);
+    if (!it->second.suppressed &&
+        it->second.penalty < params_.reuse_threshold / 2.0) {
+      it = state_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace iri::bgp

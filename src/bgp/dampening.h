@@ -1,0 +1,84 @@
+// BGP route flap dampening, after Villamizar/Chandra/Govindan
+// (draft-ietf-idr-route-dampen, later RFC 2439) — the mitigation the paper
+// discusses in §3 and warns can "introduce artificial connectivity problems".
+//
+// Each (peer, prefix) accumulates a figure-of-merit penalty on every flap;
+// the penalty decays exponentially. When it crosses the suppress threshold
+// the route is held down (updates ignored for route selection) until decay
+// brings it under the reuse threshold or the maximum hold time elapses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "bgp/route.h"
+#include "netbase/time.h"
+
+namespace iri::bgp {
+
+struct DampeningParams {
+  double withdrawal_penalty = 1000.0;
+  double readvertisement_penalty = 0.0;    // announce after withdraw
+  double attribute_change_penalty = 500.0; // implicit withdraw (path change)
+  double suppress_threshold = 2000.0;
+  double reuse_threshold = 750.0;
+  Duration half_life = Duration::Minutes(15);
+  Duration max_hold_time = Duration::Minutes(60);
+
+  // Ceiling on accumulated penalty, per the draft: the penalty that would
+  // decay to the reuse threshold in exactly max_hold_time.
+  double MaxPenalty() const;
+};
+
+// What the dampener decided about one update.
+enum class DampVerdict : std::uint8_t {
+  kPass,        // route not suppressed; process normally
+  kSuppressed,  // route just crossed into suppression
+  kStillDamped, // route remains suppressed; update must be ignored
+};
+
+class Dampener {
+ public:
+  explicit Dampener(DampeningParams params = {}) : params_(params) {}
+
+  // Records a flap event and returns the verdict for this update.
+  // `attribute_change` distinguishes an implicit withdraw (AADiff) from an
+  // explicit withdrawal.
+  DampVerdict OnWithdraw(const PrefixPeer& key, TimePoint now);
+  DampVerdict OnAnnounce(const PrefixPeer& key, TimePoint now,
+                         bool attribute_change);
+
+  // True if the route is currently held down (after decay at `now`).
+  bool IsSuppressed(const PrefixPeer& key, TimePoint now);
+
+  // Current decayed penalty; 0 when the route has no history.
+  double Penalty(const PrefixPeer& key, TimePoint now);
+
+  // When a suppressed route will next be usable, assuming no further flaps.
+  // Returns `now` when the route is not suppressed.
+  TimePoint ReuseTime(const PrefixPeer& key, TimePoint now);
+
+  // Drops state whose penalty has decayed below half the reuse threshold
+  // (the draft's garbage-collection rule). Returns entries removed.
+  std::size_t Sweep(TimePoint now);
+
+  std::size_t TrackedRoutes() const { return state_.size(); }
+  const DampeningParams& params() const { return params_; }
+
+ private:
+  struct RouteState {
+    double penalty = 0.0;
+    TimePoint last_update;
+    bool suppressed = false;
+    TimePoint suppressed_since;
+  };
+
+  // Applies exponential decay in place and re-evaluates suppression exit.
+  void Decay(RouteState& st, TimePoint now);
+  DampVerdict AddPenalty(const PrefixPeer& key, TimePoint now, double amount);
+
+  DampeningParams params_;
+  std::unordered_map<PrefixPeer, RouteState> state_;
+};
+
+}  // namespace iri::bgp

@@ -1,0 +1,54 @@
+#include "bgp/decision.h"
+
+namespace iri::bgp {
+namespace {
+
+std::uint32_t LocalPrefOf(const PathAttributes& a) {
+  return a.local_pref.value_or(kDefaultLocalPref);
+}
+
+std::uint32_t MedOf(const PathAttributes& a) { return a.med.value_or(0); }
+
+}  // namespace
+
+bool Preferred(const Candidate& a, const Candidate& b) {
+  // 1. LOCAL_PREF, higher wins.
+  const std::uint32_t lp_a = LocalPrefOf(a.attributes);
+  const std::uint32_t lp_b = LocalPrefOf(b.attributes);
+  if (lp_a != lp_b) return lp_a > lp_b;
+
+  // 2. AS_PATH length, shorter wins.
+  const std::size_t len_a = a.attributes.as_path.DecisionLength();
+  const std::size_t len_b = b.attributes.as_path.DecisionLength();
+  if (len_a != len_b) return len_a < len_b;
+
+  // 3. ORIGIN, lower wins.
+  if (a.attributes.origin != b.attributes.origin) {
+    return a.attributes.origin < b.attributes.origin;
+  }
+
+  // 4. MED, lower wins, but only comparable for the same neighbor AS.
+  if (a.attributes.as_path.FirstAsn() == b.attributes.as_path.FirstAsn()) {
+    const std::uint32_t med_a = MedOf(a.attributes);
+    const std::uint32_t med_b = MedOf(b.attributes);
+    if (med_a != med_b) return med_a < med_b;
+  }
+
+  // 5. Lowest peer router id — guarantees a total order so the decision is
+  // deterministic regardless of candidate arrival order.
+  if (a.peer_router_id != b.peer_router_id) {
+    return a.peer_router_id < b.peer_router_id;
+  }
+  return a.peer < b.peer;
+}
+
+int SelectBest(std::span<const Candidate> candidates) {
+  if (candidates.empty()) return -1;
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(candidates.size()); ++i) {
+    if (Preferred(candidates[i], candidates[best])) best = i;
+  }
+  return best;
+}
+
+}  // namespace iri::bgp

@@ -1,0 +1,37 @@
+// The BGP decision process (best-path selection).
+//
+// Implements the tie-breaking ladder as deployed in the measurement era
+// (RFC 1163 phase 2, refined per RFC 4271 §9.1.2.2):
+//   1. highest LOCAL_PREF (absent => 100)
+//   2. shortest AS_PATH (SET segments count 1)
+//   3. lowest ORIGIN (IGP < EGP < INCOMPLETE)
+//   4. lowest MED, compared only between routes from the same neighbor AS
+//      (absent => 0, i.e. best)
+//   5. lowest peer BGP identifier (deterministic final tie-break)
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bgp/route.h"
+
+namespace iri::bgp {
+
+inline constexpr std::uint32_t kDefaultLocalPref = 100;
+
+// One candidate path for a prefix, as seen in a router's Adj-RIBs-In.
+struct Candidate {
+  PeerId peer = 0;
+  IPv4Address peer_router_id;  // final tie-break
+  PathAttributes attributes;
+};
+
+// Returns the index of the best candidate, or -1 when `candidates` is empty.
+// Pure function: deterministic given the candidate list order-independently
+// (the final router-id tie-break makes the ordering total).
+int SelectBest(std::span<const Candidate> candidates);
+
+// Exposed for tests/benchmarks: returns true if `a` is preferred over `b`.
+bool Preferred(const Candidate& a, const Candidate& b);
+
+}  // namespace iri::bgp

@@ -1,0 +1,237 @@
+#include "bgp/message.h"
+
+#include <algorithm>
+
+namespace iri::bgp {
+namespace {
+
+// All-ones marker required by RFC 1163 (pre-authentication era).
+void WriteMarker(ByteWriter& out) {
+  for (int i = 0; i < 16; ++i) out.U8(0xFF);
+}
+
+bool ReadAndCheckMarker(ByteReader& in) {
+  auto marker = in.Bytes(16);
+  if (marker.size() != 16) return false;
+  return std::all_of(marker.begin(), marker.end(),
+                     [](std::uint8_t b) { return b == 0xFF; });
+}
+
+void EncodeUpdateBody(const UpdateMessage& u, ByteWriter& out) {
+  // Withdrawn routes, preceded by their byte length (back-patched).
+  const std::size_t withdrawn_len_at = out.size();
+  out.U16(0);
+  const std::size_t withdrawn_start = out.size();
+  for (const Prefix& p : u.withdrawn) EncodeNlriPrefix(p, out);
+  out.PatchU16(withdrawn_len_at,
+               static_cast<std::uint16_t>(out.size() - withdrawn_start));
+
+  // Path attributes, preceded by their byte length (back-patched). Per RFC,
+  // attributes are omitted entirely when there is no NLRI.
+  const std::size_t attrs_len_at = out.size();
+  out.U16(0);
+  if (!u.nlri.empty()) {
+    const std::size_t attrs_start = out.size();
+    EncodeAttributes(u.attributes, out);
+    out.PatchU16(attrs_len_at,
+                 static_cast<std::uint16_t>(out.size() - attrs_start));
+  }
+
+  for (const Prefix& p : u.nlri) EncodeNlriPrefix(p, out);
+}
+
+UpdateMessage DecodeUpdateBody(ByteReader& in, std::size_t body_len) {
+  UpdateMessage u;
+  const std::size_t end = in.position() + body_len;
+
+  const std::uint16_t withdrawn_len = in.U16();
+  const std::size_t withdrawn_end = in.position() + withdrawn_len;
+  while (in.ok() && in.position() < withdrawn_end) {
+    if (auto p = DecodeNlriPrefix(in)) {
+      u.withdrawn.push_back(*p);
+    }
+  }
+  if (in.position() != withdrawn_end) in.MarkBad();
+
+  const std::uint16_t attrs_len = in.U16();
+  if (attrs_len > 0) {
+    u.attributes = DecodeAttributes(in, attrs_len);
+  }
+
+  while (in.ok() && in.position() < end) {
+    if (auto p = DecodeNlriPrefix(in)) {
+      u.nlri.push_back(*p);
+    }
+  }
+  if (in.position() != end) in.MarkBad();
+  return u;
+}
+
+}  // namespace
+
+MessageType TypeOf(const Message& msg) {
+  switch (msg.index()) {
+    case 0: return MessageType::kOpen;
+    case 1: return MessageType::kUpdate;
+    case 2: return MessageType::kNotification;
+    default: return MessageType::kKeepAlive;
+  }
+}
+
+void EncodeNlriPrefix(const Prefix& p, ByteWriter& out) {
+  out.U8(p.length());
+  const std::uint32_t bits = p.bits();
+  const int bytes = (p.length() + 7) / 8;
+  for (int i = 0; i < bytes; ++i) {
+    out.U8(static_cast<std::uint8_t>(bits >> (24 - 8 * i)));
+  }
+}
+
+std::optional<Prefix> DecodeNlriPrefix(ByteReader& in) {
+  const std::uint8_t len = in.U8();
+  if (len > 32) {
+    in.MarkBad();
+    return std::nullopt;
+  }
+  const int bytes = (len + 7) / 8;
+  std::uint32_t bits = 0;
+  for (int i = 0; i < bytes; ++i) {
+    bits |= std::uint32_t{in.U8()} << (24 - 8 * i);
+  }
+  if (!in.ok()) return std::nullopt;
+  return Prefix(IPv4Address(bits), len);
+}
+
+std::vector<std::uint8_t> Encode(const Message& msg) {
+  ByteWriter out;
+  WriteMarker(out);
+  const std::size_t length_at = out.size();
+  out.U16(0);
+  out.U8(static_cast<std::uint8_t>(TypeOf(msg)));
+
+  std::visit(
+      [&out](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, OpenMessage>) {
+          out.U8(m.version);
+          out.U16(static_cast<std::uint16_t>(m.asn));
+          out.U16(m.hold_time_s);
+          out.U32(m.bgp_identifier.bits());
+          out.U8(0);  // no optional parameters
+        } else if constexpr (std::is_same_v<T, UpdateMessage>) {
+          EncodeUpdateBody(m, out);
+        } else if constexpr (std::is_same_v<T, NotificationMessage>) {
+          out.U8(static_cast<std::uint8_t>(m.code));
+          out.U8(m.subcode);
+        } else {
+          static_assert(std::is_same_v<T, KeepAliveMessage>);
+        }
+      },
+      msg);
+
+  out.PatchU16(length_at, static_cast<std::uint16_t>(out.size()));
+  return std::move(out).Take();
+}
+
+std::optional<Message> Decode(std::span<const std::uint8_t> wire) {
+  ByteReader in(wire);
+  if (!ReadAndCheckMarker(in)) return std::nullopt;
+  const std::uint16_t length = in.U16();
+  const std::uint8_t type = in.U8();
+  if (!in.ok() || length < kHeaderSize || length > kMaxMessageSize ||
+      length != wire.size()) {
+    return std::nullopt;
+  }
+  const std::size_t body_len = length - kHeaderSize;
+
+  std::optional<Message> msg;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kOpen: {
+      OpenMessage m;
+      m.version = in.U8();
+      m.asn = in.U16();
+      m.hold_time_s = in.U16();
+      m.bgp_identifier = IPv4Address(in.U32());
+      const std::uint8_t opt_len = in.U8();
+      in.Skip(opt_len);
+      msg = m;
+      break;
+    }
+    case MessageType::kUpdate:
+      msg = DecodeUpdateBody(in, body_len);
+      break;
+    case MessageType::kNotification: {
+      NotificationMessage m;
+      const std::uint8_t code = in.U8();
+      if (code < 1 || code > 6) return std::nullopt;
+      m.code = static_cast<NotifyCode>(code);
+      m.subcode = in.U8();
+      in.Skip(in.remaining());  // diagnostic data, ignored
+      msg = m;
+      break;
+    }
+    case MessageType::kKeepAlive:
+      if (body_len != 0) return std::nullopt;
+      msg = KeepAliveMessage{};
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!in.ok() || in.remaining() != 0) return std::nullopt;
+  return msg;
+}
+
+std::size_t EstimateUpdateSize(const UpdateMessage& update) {
+  // Header + two length fields + 5 bytes/prefix (worst case) + generous
+  // attribute bound (fixed attrs + path + communities).
+  std::size_t attrs = 0;
+  if (!update.nlri.empty()) {
+    attrs = 32;
+    for (const auto& seg : update.attributes.as_path.segments()) {
+      attrs += 2 + 2 * seg.asns.size();
+    }
+    attrs += 4 * update.attributes.communities.size();
+  }
+  return kHeaderSize + 4 + 5 * (update.withdrawn.size() + update.nlri.size()) +
+         attrs;
+}
+
+std::string ToString(const Message& msg) {
+  return std::visit(
+      [](const auto& m) -> std::string {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, OpenMessage>) {
+          return "OPEN as=" + std::to_string(m.asn) +
+                 " hold=" + std::to_string(m.hold_time_s) +
+                 " id=" + m.bgp_identifier.ToString();
+        } else if constexpr (std::is_same_v<T, UpdateMessage>) {
+          std::string out = "UPDATE";
+          if (!m.withdrawn.empty()) {
+            out += " withdrawn=[";
+            for (std::size_t i = 0; i < m.withdrawn.size(); ++i) {
+              if (i) out.push_back(' ');
+              out += m.withdrawn[i].ToString();
+            }
+            out += "]";
+          }
+          if (!m.nlri.empty()) {
+            out += " nlri=[";
+            for (std::size_t i = 0; i < m.nlri.size(); ++i) {
+              if (i) out.push_back(' ');
+              out += m.nlri[i].ToString();
+            }
+            out += "] " + m.attributes.ToString();
+          }
+          return out;
+        } else if constexpr (std::is_same_v<T, NotificationMessage>) {
+          return "NOTIFICATION code=" +
+                 std::to_string(static_cast<int>(m.code)) +
+                 " sub=" + std::to_string(m.subcode);
+        } else {
+          return "KEEPALIVE";
+        }
+      },
+      msg);
+}
+
+}  // namespace iri::bgp

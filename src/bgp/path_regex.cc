@@ -1,0 +1,161 @@
+#include "bgp/path_regex.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace iri::bgp {
+namespace {
+
+// Splits the pattern into whitespace-separated tokens, keeping quantifier
+// suffixes attached.
+std::vector<std::string> Tokenize(const std::string& pattern) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : pattern) {
+    // '_' is Cisco's boundary metacharacter; between AS numbers it behaves
+    // as a separator, so treat it like whitespace.
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == '_') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::optional<Asn> ParseAsn(std::string_view text) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() ||
+      value > kMaxAsn) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<PathRegex> PathRegex::Compile(const std::string& pattern) {
+  PathRegex regex;
+  regex.pattern_ = pattern;
+  auto tokens = Tokenize(pattern);
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    std::string tok = tokens[i];
+    if (tok == "_") continue;  // Cisco separator: no-op here
+    // Anchors may stand alone or be glued to the first/last token, as in
+    // Cisco syntax ("^701 .* 9$").
+    if (!tok.empty() && tok.front() == '^') {
+      if (i != 0) return std::nullopt;
+      regex.anchored_start_ = true;
+      tok.erase(tok.begin());
+      if (tok.empty()) continue;
+    }
+    if (!tok.empty() && tok.back() == '$') {
+      if (i != tokens.size() - 1) return std::nullopt;
+      regex.anchored_end_ = true;
+      tok.pop_back();
+      if (tok.empty()) continue;
+    }
+
+    Atom atom;
+    // Quantifier suffix.
+    if (!tok.empty()) {
+      const char last = tok.back();
+      if (last == '*') {
+        atom.quantifier = Atom::Quantifier::kStar;
+        tok.pop_back();
+      } else if (last == '+') {
+        atom.quantifier = Atom::Quantifier::kPlus;
+        tok.pop_back();
+      } else if (last == '?') {
+        atom.quantifier = Atom::Quantifier::kOptional;
+        tok.pop_back();
+      }
+    }
+    if (tok.empty()) return std::nullopt;  // dangling quantifier
+
+    if (tok == ".") {
+      // wildcard: empty allowed set
+    } else if (tok.front() == '(') {
+      if (tok.back() != ')' || tok.size() < 3) return std::nullopt;
+      std::string inner = tok.substr(1, tok.size() - 2);
+      std::size_t start = 0;
+      while (start <= inner.size()) {
+        const std::size_t bar = inner.find('|', start);
+        const std::string part =
+            inner.substr(start, bar == std::string::npos ? std::string::npos
+                                                         : bar - start);
+        auto asn = ParseAsn(part);
+        if (!asn) return std::nullopt;
+        atom.allowed.push_back(*asn);
+        if (bar == std::string::npos) break;
+        start = bar + 1;
+      }
+      if (atom.allowed.empty()) return std::nullopt;
+    } else {
+      auto asn = ParseAsn(tok);
+      if (!asn) return std::nullopt;
+      atom.allowed.push_back(*asn);
+    }
+    regex.atoms_.push_back(std::move(atom));
+  }
+  return regex;
+}
+
+bool PathRegex::MatchHere(std::size_t atom, const std::vector<Asn>& path,
+                          std::size_t pos) const {
+  if (atom == atoms_.size()) {
+    return !anchored_end_ || pos == path.size();
+  }
+  const Atom& a = atoms_[atom];
+  switch (a.quantifier) {
+    case Atom::Quantifier::kOne:
+      return pos < path.size() && a.Accepts(path[pos]) &&
+             MatchHere(atom + 1, path, pos + 1);
+    case Atom::Quantifier::kOptional:
+      if (pos < path.size() && a.Accepts(path[pos]) &&
+          MatchHere(atom + 1, path, pos + 1)) {
+        return true;
+      }
+      return MatchHere(atom + 1, path, pos);
+    case Atom::Quantifier::kPlus:
+      if (pos >= path.size() || !a.Accepts(path[pos])) return false;
+      ++pos;
+      [[fallthrough]];
+    case Atom::Quantifier::kStar: {
+      // Greedy with backtracking: try the longest run first.
+      std::size_t end = pos;
+      while (end < path.size() && a.Accepts(path[end])) ++end;
+      for (std::size_t stop = end + 1; stop-- > pos;) {
+        if (MatchHere(atom + 1, path, stop)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool PathRegex::Matches(const std::vector<Asn>& flattened) const {
+  if (anchored_start_) return MatchHere(0, flattened, 0);
+  for (std::size_t start = 0; start <= flattened.size(); ++start) {
+    if (MatchHere(0, flattened, start)) return true;
+  }
+  return false;
+}
+
+bool PathRegex::Matches(const AsPath& path) const {
+  std::vector<Asn> flattened;
+  for (const auto& segment : path.segments()) {
+    flattened.insert(flattened.end(), segment.asns.begin(),
+                     segment.asns.end());
+  }
+  return Matches(flattened);
+}
+
+}  // namespace iri::bgp

@@ -1,0 +1,70 @@
+// AS-path regular expressions — the filter language of 1990s routing
+// policy (Cisco `ip as-path access-list`, RAToolSet/RPSL `<...>` filters).
+// The paper notes each route "may be matched against a potentially
+// extensive list of policy filters"; those lists were mostly these.
+//
+// Supported syntax over tokens separated by whitespace:
+//   701        literal AS number
+//   .          any single AS
+//   _          alternation-free separator (ignored; Cisco compatibility)
+//   (a|b|c)    alternation of single tokens
+//   tok*       zero or more of the preceding token
+//   tok+       one or more
+//   tok?       zero or one
+//   ^          anchor at path start (only meaningful first)
+//   $          anchor at path end (only meaningful last)
+//
+// Unanchored patterns match any substring of the path, as in Cisco. The
+// path is the flattened AS sequence (SET segments contribute their members
+// in order). Matching is by backtracking over the tiny compiled program —
+// paths are short (< 20 ASes), patterns shorter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.h"
+
+namespace iri::bgp {
+
+class PathRegex {
+ public:
+  // Compiles a pattern; nullopt on syntax errors (unbalanced parens, empty
+  // alternation, dangling quantifier, junk tokens).
+  static std::optional<PathRegex> Compile(const std::string& pattern);
+
+  bool Matches(const AsPath& path) const;
+  bool Matches(const std::vector<Asn>& flattened) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  struct Atom {
+    // Empty set = wildcard '.'; otherwise the allowed AS numbers.
+    std::vector<Asn> allowed;
+    enum class Quantifier : std::uint8_t { kOne, kStar, kPlus, kOptional };
+    Quantifier quantifier = Quantifier::kOne;
+
+    bool Accepts(Asn asn) const {
+      if (allowed.empty()) return true;
+      for (Asn a : allowed) {
+        if (a == asn) return true;
+      }
+      return false;
+    }
+  };
+
+  PathRegex() = default;
+
+  bool MatchHere(std::size_t atom, const std::vector<Asn>& path,
+                 std::size_t pos) const;
+
+  std::string pattern_;
+  std::vector<Atom> atoms_;
+  bool anchored_start_ = false;
+  bool anchored_end_ = false;
+};
+
+}  // namespace iri::bgp

@@ -1,0 +1,61 @@
+#include "bgp/policy.h"
+
+#include <algorithm>
+
+namespace iri::bgp {
+
+bool MatchSpec::Matches(const Route& route) const {
+  const Prefix& p = route.prefix;
+  if (exact && !(p == *exact)) return false;
+  if (covered_by && !covered_by->Covers(p)) return false;
+  if (p.length() < min_length || p.length() > max_length) return false;
+  if (path_contains && !route.attributes.as_path.Contains(*path_contains)) {
+    return false;
+  }
+  if (origin_as && route.attributes.as_path.OriginAsn() != *origin_as) {
+    return false;
+  }
+  if (neighbor_as && route.attributes.as_path.FirstAsn() != *neighbor_as) {
+    return false;
+  }
+  if (has_community) {
+    const auto& cs = route.attributes.communities;
+    if (std::find(cs.begin(), cs.end(), *has_community) == cs.end()) {
+      return false;
+    }
+  }
+  if (path_regex && !path_regex->Matches(route.attributes.as_path)) {
+    return false;
+  }
+  return true;
+}
+
+void ActionSpec::ApplyTo(Route& route) const {
+  if (set_local_pref) route.attributes.local_pref = *set_local_pref;
+  if (set_med) route.attributes.med = *set_med;
+  if (clear_med) route.attributes.med.reset();
+  for (std::uint8_t i = 0; i < prepend_count; ++i) {
+    route.attributes.as_path.Prepend(prepend_asn);
+  }
+  if (strip_communities) route.attributes.communities.clear();
+  for (Community c : add_communities) {
+    auto& cs = route.attributes.communities;
+    if (std::find(cs.begin(), cs.end(), c) == cs.end()) cs.push_back(c);
+  }
+  std::sort(route.attributes.communities.begin(),
+            route.attributes.communities.end());
+}
+
+std::optional<Route> Policy::Apply(const Route& route) const {
+  for (const PolicyRule& rule : rules_) {
+    if (!rule.match.Matches(route)) continue;
+    if (rule.action.deny) return std::nullopt;
+    Route out = route;
+    rule.action.ApplyTo(out);
+    return out;
+  }
+  if (!default_accept_) return std::nullopt;
+  return route;
+}
+
+}  // namespace iri::bgp

@@ -1,0 +1,109 @@
+#include "bgp/rib.h"
+
+#include <cassert>
+
+namespace iri::bgp {
+
+void Rib::AddPeer(PeerId peer, IPv4Address router_id) {
+  peers_[peer] = router_id;
+}
+
+RibChange Rib::Announce(PeerId peer, const Route& route) {
+  assert(peers_.contains(peer));
+  Entry* entry = table_.Find(route.prefix);
+  if (entry == nullptr) {
+    table_.Insert(route.prefix, Entry{});
+    entry = table_.Find(route.prefix);
+  }
+  const std::optional<Candidate> old_best = BestOf(*entry);
+
+  Candidate incoming{peer, peers_[peer], route.attributes};
+  bool replaced = false;
+  for (auto& cand : entry->candidates) {
+    if (cand.peer == peer) {  // implicit withdrawal of the previous path
+      cand = std::move(incoming);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    entry->candidates.push_back(std::move(incoming));
+    peer_prefixes_[peer].insert(route.prefix);
+    ++num_routes_;
+  }
+  return Redecide(route.prefix, *entry, old_best);
+}
+
+RibChange Rib::Withdraw(PeerId peer, const Prefix& prefix) {
+  Entry* entry = table_.Find(prefix);
+  if (entry == nullptr) return {};
+  const std::optional<Candidate> old_best = BestOf(*entry);
+
+  bool removed = false;
+  for (std::size_t i = 0; i < entry->candidates.size(); ++i) {
+    if (entry->candidates[i].peer == peer) {
+      entry->candidates.erase(entry->candidates.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      removed = true;
+      break;
+    }
+  }
+  if (!removed) return {};  // pathological withdrawal: nothing to do
+  peer_prefixes_[peer].erase(prefix);
+  --num_routes_;
+
+  if (entry->candidates.empty()) {
+    table_.Erase(prefix);
+    RibChange change;
+    change.best_changed = old_best.has_value();
+    return change;
+  }
+  return Redecide(prefix, *entry, old_best);
+}
+
+std::vector<std::pair<Prefix, RibChange>> Rib::ClearPeer(PeerId peer) {
+  std::vector<std::pair<Prefix, RibChange>> changes;
+  auto it = peer_prefixes_.find(peer);
+  if (it == peer_prefixes_.end()) return changes;
+  // Copy: Withdraw mutates peer_prefixes_[peer].
+  const std::vector<Prefix> prefixes(it->second.begin(), it->second.end());
+  changes.reserve(prefixes.size());
+  for (const Prefix& p : prefixes) {
+    RibChange c = Withdraw(peer, p);
+    if (c.best_changed) changes.emplace_back(p, std::move(c));
+  }
+  return changes;
+}
+
+const Candidate* Rib::Best(const Prefix& prefix) const {
+  const Entry* entry = table_.Find(prefix);
+  if (entry == nullptr || entry->best < 0) return nullptr;
+  return &entry->candidates[static_cast<std::size_t>(entry->best)];
+}
+
+std::vector<Candidate> Rib::CandidatesFor(const Prefix& prefix) const {
+  const Entry* entry = table_.Find(prefix);
+  if (entry == nullptr) return {};
+  return entry->candidates;
+}
+
+std::size_t Rib::PeerRouteCount(PeerId peer) const {
+  auto it = peer_prefixes_.find(peer);
+  return it == peer_prefixes_.end() ? 0 : it->second.size();
+}
+
+RibChange Rib::Redecide(const Prefix& /*prefix*/, Entry& entry,
+                        const std::optional<Candidate>& old_best) {
+  entry.best = SelectBest(entry.candidates);
+  RibChange change;
+  change.new_best = BestOf(entry);
+  if (old_best.has_value() != change.new_best.has_value()) {
+    change.best_changed = true;
+  } else if (old_best.has_value()) {
+    change.best_changed = old_best->peer != change.new_best->peer ||
+                          !(old_best->attributes == change.new_best->attributes);
+  }
+  return change;
+}
+
+}  // namespace iri::bgp

@@ -1,0 +1,107 @@
+// Routing Information Base: per-peer Adj-RIBs-In merged into a Loc-RIB by
+// the decision process.
+//
+// The Rib is a pure routing-table machine with no notion of time or I/O;
+// the simulator's Router owns one and feeds it decoded UPDATEs. Every
+// mutation reports whether the *best* route for the prefix changed, which is
+// exactly the signal the export machinery (and the paper's notion of
+// forwarding instability) cares about.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/decision.h"
+#include "bgp/route.h"
+#include "netbase/radix_trie.h"
+
+namespace iri::bgp {
+
+// Outcome of applying one route event to the RIB.
+struct RibChange {
+  // True if the Loc-RIB entry for the prefix changed (new best, different
+  // best attributes, or loss of all routes).
+  bool best_changed = false;
+  // The new best route, or nullopt if the prefix is now unreachable.
+  std::optional<Candidate> new_best;
+};
+
+class Rib {
+ public:
+  // Registers a peer before routes from it can be accepted. `router_id` is
+  // used for the final decision tie-break.
+  void AddPeer(PeerId peer, IPv4Address router_id);
+
+  bool HasPeer(PeerId peer) const { return peers_.contains(peer); }
+
+  // Applies an announcement from `peer`. Replaces any previous route from
+  // the same peer for the same prefix (implicit withdrawal).
+  RibChange Announce(PeerId peer, const Route& route);
+
+  // Applies an explicit withdrawal. A withdrawal for a route the peer never
+  // announced is a no-op (this is how WWDup pathologies look to a receiver).
+  RibChange Withdraw(PeerId peer, const Prefix& prefix);
+
+  // Drops every route learned from `peer` (session loss). Returns the
+  // prefixes whose best route changed, with their new state.
+  std::vector<std::pair<Prefix, RibChange>> ClearPeer(PeerId peer);
+
+  // Current best route for `prefix`, or nullptr if unreachable.
+  const Candidate* Best(const Prefix& prefix) const;
+
+  // All candidates currently held for `prefix` (used by the multihoming
+  // census and by tests).
+  std::vector<Candidate> CandidatesFor(const Prefix& prefix) const;
+
+  // Number of distinct prefixes with at least one path.
+  std::size_t NumPrefixes() const { return table_.size(); }
+
+  // Number of routes (prefix, peer) pairs in all Adj-RIBs-In.
+  std::size_t NumRoutes() const { return num_routes_; }
+
+  // Number of prefixes learned from `peer`.
+  std::size_t PeerRouteCount(PeerId peer) const;
+
+  // Visits (prefix, best candidate) over the whole Loc-RIB in address order.
+  template <typename Fn>
+  void VisitBest(Fn&& fn) const {
+    table_.Visit([&fn](const Prefix& p, const Entry& e) {
+      if (e.best >= 0) fn(p, e.candidates[static_cast<std::size_t>(e.best)]);
+    });
+  }
+
+  // Visits (prefix, number of distinct paths) — Figure 10's multihoming
+  // census runs on this.
+  template <typename Fn>
+  void VisitPathCounts(Fn&& fn) const {
+    table_.Visit([&fn](const Prefix& p, const Entry& e) {
+      fn(p, e.candidates.size());
+    });
+  }
+
+ private:
+  struct Entry {
+    std::vector<Candidate> candidates;
+    int best = -1;  // index into candidates, -1 when empty
+  };
+
+  // Re-runs the decision process on an entry; returns the change summary
+  // comparing against `old_best`.
+  RibChange Redecide(const Prefix& prefix, Entry& entry,
+                     const std::optional<Candidate>& old_best);
+
+  std::optional<Candidate> BestOf(const Entry& e) const {
+    if (e.best < 0) return std::nullopt;
+    return e.candidates[static_cast<std::size_t>(e.best)];
+  }
+
+  RadixTrie<Entry> table_;
+  std::unordered_map<PeerId, IPv4Address> peers_;
+  std::unordered_map<PeerId, std::unordered_set<Prefix>> peer_prefixes_;
+  std::size_t num_routes_ = 0;
+};
+
+}  // namespace iri::bgp

@@ -1,0 +1,78 @@
+// Route types shared by the RIB, the decision process, and the classifier.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "bgp/attributes.h"
+#include "netbase/ipv4.h"
+
+namespace iri::bgp {
+
+// Identifies a peering session at one collection point. The paper's
+// per-peer statistics (Table 1, Figure 6) are keyed by this.
+using PeerId = std::uint32_t;
+inline constexpr PeerId kLocalPeer = 0xFFFFFFFF;  // locally-originated routes
+
+// One announced route: a destination prefix and its attributes.
+struct Route {
+  Prefix prefix;
+  PathAttributes attributes;
+
+  friend bool operator==(const Route&, const Route&) = default;
+
+  std::string ToString() const {
+    return prefix.ToString() + " " + attributes.ToString();
+  }
+};
+
+// The paper's forwarding tuple: (Prefix, NextHop, ASPATH). Two successive
+// announcements with equal ForwardingKeys are duplicates (AADup) unless some
+// other attribute changed (policy fluctuation). Hashable for the
+// classifier's per-route state tables.
+struct ForwardingKey {
+  Prefix prefix;
+  IPv4Address next_hop;
+  AsPath as_path;
+
+  static ForwardingKey Of(const Route& r) {
+    return {r.prefix, r.attributes.next_hop, r.attributes.as_path};
+  }
+
+  friend bool operator==(const ForwardingKey&, const ForwardingKey&) = default;
+};
+
+// (Prefix, peer) pair: the unit of Figures 7 and 8 ("Prefix+AS").
+struct PrefixPeer {
+  Prefix prefix;
+  PeerId peer = 0;
+
+  friend bool operator==(const PrefixPeer&, const PrefixPeer&) = default;
+  friend auto operator<=>(const PrefixPeer&, const PrefixPeer&) = default;
+};
+
+}  // namespace iri::bgp
+
+template <>
+struct std::hash<iri::bgp::PrefixPeer> {
+  std::size_t operator()(const iri::bgp::PrefixPeer& pp) const noexcept {
+    std::uint64_t x = std::hash<iri::Prefix>{}(pp.prefix);
+    x ^= pp.peer + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+    return static_cast<std::size_t>(x);
+  }
+};
+
+template <>
+struct std::hash<iri::bgp::ForwardingKey> {
+  std::size_t operator()(const iri::bgp::ForwardingKey& k) const noexcept {
+    std::uint64_t x = std::hash<iri::Prefix>{}(k.prefix);
+    x = x * 1099511628211ULL ^ k.next_hop.bits();
+    for (const auto& seg : k.as_path.segments()) {
+      x = x * 1099511628211ULL ^ static_cast<std::uint64_t>(seg.type);
+      for (auto asn : seg.asns) x = x * 1099511628211ULL ^ asn;
+    }
+    return static_cast<std::size_t>(x);
+  }
+};

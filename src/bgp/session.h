@@ -1,0 +1,103 @@
+// BGP session finite-state machine (RFC 1163 §6 / RFC 4271 §8).
+//
+// Pure and time-parametric: callers inject the current simulated time with
+// every event and collect output actions; the FSM never does I/O and owns no
+// timers — it only tracks deadlines, which the simulator polls via
+// NextDeadline(). This is what makes flap-storm dynamics reproducible: a
+// router whose CPU is saturated simply fails to call OnTimer in time to
+// refresh keepalives, and its peers' hold timers do the rest.
+//
+// States kConnect/kActive are collapsed into a single kConnect (the split in
+// the RFC concerns TCP retry details the simulator models at the link layer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/message.h"
+#include "netbase/time.h"
+
+namespace iri::bgp {
+
+enum class SessionState : std::uint8_t {
+  kIdle,
+  kConnect,
+  kOpenSent,
+  kOpenConfirm,
+  kEstablished,
+};
+
+struct SessionConfig {
+  Asn local_asn = 0;
+  IPv4Address router_id;
+  std::uint16_t hold_time_s = 90;  // proposed; negotiated down to peer's
+  Duration connect_retry = Duration::Seconds(30);
+};
+
+class SessionFsm {
+ public:
+  // Actions the FSM asks its owner to perform.
+  enum class ActionType : std::uint8_t {
+    kSendOpen,
+    kSendKeepAlive,
+    kSendNotification,
+    kSessionUp,    // entered Established
+    kSessionDown,  // left Established (reason in `notification`)
+  };
+  struct Action {
+    ActionType type;
+    NotificationMessage notification;  // valid for kSendNotification/kSessionDown
+  };
+  using Actions = std::vector<Action>;
+
+  explicit SessionFsm(SessionConfig config) : config_(config) {}
+
+  SessionState state() const { return state_; }
+  std::uint16_t negotiated_hold_time_s() const { return negotiated_hold_s_; }
+
+  // Administrative start: Idle -> Connect (transport setup begins).
+  void Start(TimePoint now, Actions& out);
+
+  // Administrative stop: sends Cease if up, returns to Idle.
+  void Stop(TimePoint now, Actions& out);
+
+  // Transport (TCP) connected / lost.
+  void OnTransportUp(TimePoint now, Actions& out);
+  void OnTransportDown(TimePoint now, Actions& out);
+
+  // A decoded message arrived from the peer. UPDATE payloads are the
+  // owner's business; the FSM only validates sequencing and refreshes the
+  // hold timer.
+  void OnMessage(TimePoint now, const Message& msg, Actions& out);
+
+  // Fires any expired timers. The owner must call this at (or after) every
+  // NextDeadline(). Late calls model CPU starvation faithfully: a hold
+  // deadline that passed while the router was busy still tears the session
+  // down, just later.
+  void OnTimer(TimePoint now, Actions& out);
+
+  // Earliest pending deadline, or TimePoint::Max() when none.
+  TimePoint NextDeadline() const;
+
+ private:
+  void EnterConnect(TimePoint now);
+  void TearDown(TimePoint now, NotifyCode code, Actions& out);
+  // Common OPEN validation/negotiation for OpenSent (and the passive-open
+  // path out of Connect).
+  void HandlePeerOpen(TimePoint now, const OpenMessage& open, Actions& out);
+  Duration KeepaliveInterval() const {
+    return Duration::Seconds(negotiated_hold_s_ / 3.0);
+  }
+
+  SessionConfig config_;
+  SessionState state_ = SessionState::kIdle;
+  std::uint16_t negotiated_hold_s_ = 0;
+
+  TimePoint hold_deadline_ = TimePoint::Max();
+  TimePoint keepalive_deadline_ = TimePoint::Max();
+  TimePoint connect_retry_deadline_ = TimePoint::Max();
+};
+
+const char* ToString(SessionState s);
+
+}  // namespace iri::bgp

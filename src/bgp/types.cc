@@ -1,0 +1,29 @@
+#include "bgp/types.h"
+
+namespace iri::bgp {
+
+std::string AsPath::ToString() const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    if (!out.empty()) out.push_back(' ');
+    const bool set = seg.type == AsPathSegment::Type::kSet;
+    if (set) out.push_back('{');
+    for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+      if (i > 0) out.push_back(set ? ',' : ' ');
+      out += std::to_string(seg.asns[i]);
+    }
+    if (set) out.push_back('}');
+  }
+  return out;
+}
+
+std::string ToString(Origin origin) {
+  switch (origin) {
+    case Origin::kIgp: return "IGP";
+    case Origin::kEgp: return "EGP";
+    case Origin::kIncomplete: return "INCOMPLETE";
+  }
+  return "?";
+}
+
+}  // namespace iri::bgp

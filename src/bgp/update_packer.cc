@@ -1,0 +1,93 @@
+#include "bgp/update_packer.h"
+
+#include <algorithm>
+
+namespace iri::bgp {
+
+std::vector<UpdateMessage> PackUpdates(std::span<const RouteOp> ops) {
+  std::vector<UpdateMessage> out;
+
+  // Withdrawals first, packed densely (matches observed router behaviour:
+  // the paper's multi-million-withdrawal days arrived as packed UPDATEs).
+  UpdateMessage withdrawals;
+  for (const RouteOp& op : ops) {
+    if (!op.IsWithdraw()) continue;
+    withdrawals.withdrawn.push_back(op.prefix);
+    if (EstimateUpdateSize(withdrawals) > kMaxMessageSize - 64) {
+      out.push_back(std::move(withdrawals));
+      withdrawals = {};
+    }
+  }
+  if (!withdrawals.withdrawn.empty()) out.push_back(std::move(withdrawals));
+
+  // Announcements grouped by identical attribute sets. Order within a group
+  // follows arrival order; groups are emitted in order of first appearance.
+  std::vector<UpdateMessage> groups;
+  for (const RouteOp& op : ops) {
+    if (op.IsWithdraw()) continue;
+    UpdateMessage* group = nullptr;
+    for (auto& g : groups) {
+      if (g.attributes == *op.attributes &&
+          EstimateUpdateSize(g) < kMaxMessageSize - 64) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back({});
+      groups.back().attributes = *op.attributes;
+      group = &groups.back();
+    }
+    group->nlri.push_back(op.prefix);
+  }
+  for (auto& g : groups) out.push_back(std::move(g));
+  return out;
+}
+
+void OutboundQueue::Enqueue(TimePoint now, RouteOp op) {
+  if (pending_.empty()) deadline_ = ComputeDeadline(now);
+  auto [it, inserted] =
+      pending_.try_emplace(op.prefix, next_seq_, op);
+  if (inserted) {
+    ++next_seq_;
+  } else {
+    // Latest wins, keeping the original order slot; an announcement that
+    // supersedes a queued withdrawal remembers it (see RouteOp).
+    RouteOp& prior = it->second.second;
+    if (!op.IsWithdraw() &&
+        (prior.IsWithdraw() || prior.withdraw_preceded)) {
+      op.withdraw_preceded = true;
+    }
+    prior = std::move(op);
+  }
+}
+
+TimePoint OutboundQueue::ComputeDeadline(TimePoint now) {
+  const std::int64_t interval = config_.interval.nanos();
+  if (config_.discipline == TimerDiscipline::kUnjittered) {
+    // Fixed phase: the next multiple of the interval strictly after `now`.
+    // Every unjittered router flushes on the same global phase — the weak
+    // coupling Floyd & Jacobson show leads to abrupt synchronization.
+    const std::int64_t k = now.nanos() / interval + 1;
+    return TimePoint::FromNanos(k * interval);
+  }
+  const double spread = 1.0 + config_.jitter * (2.0 * rng_.Uniform() - 1.0);
+  return now + config_.interval * spread;
+}
+
+std::vector<RouteOp> OutboundQueue::Flush(TimePoint now) {
+  if (pending_.empty() || now < deadline_) return {};
+  std::vector<std::pair<std::uint64_t, RouteOp>> ordered;
+  ordered.reserve(pending_.size());
+  for (auto& [prefix, seq_op] : pending_) ordered.push_back(std::move(seq_op));
+  pending_.clear();
+  deadline_ = TimePoint::Max();
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<RouteOp> ops;
+  ops.reserve(ordered.size());
+  for (auto& [seq, op] : ordered) ops.push_back(std::move(op));
+  return ops;
+}
+
+}  // namespace iri::bgp

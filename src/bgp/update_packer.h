@@ -1,0 +1,92 @@
+// Outbound update batching — the "interval timer on BGP's update processing"
+// at the heart of the paper's §4.2.
+//
+// Real routers do not transmit each route change immediately; they queue
+// changes and flush them on a timer, packing many prefixes into few UPDATE
+// messages. The paper identifies a vendor's *unjittered 30-second* flush
+// timer as the probable source of the 30/60 s periodicity in Figure 8 and a
+// contributor (with stateless BGP) to AADup/WWDup pathologies.
+//
+// Two timer disciplines are modeled:
+//  - kUnjittered: flushes at fixed wall-phase multiples of the interval
+//    (every router on the same phase — the self-synchronization substrate).
+//  - kJittered: flushes interval*(1 ± jitter) after the first enqueued
+//    change, per the route-dampening draft's recommendation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/message.h"
+#include "bgp/route.h"
+#include "netbase/rng.h"
+#include "netbase/time.h"
+
+namespace iri::bgp {
+
+// One net route change bound for a peer: announce (attrs set) or withdraw.
+struct RouteOp {
+  Prefix prefix;
+  std::optional<PathAttributes> attributes;  // nullopt == withdrawal
+  // True when a withdrawal for this prefix was queued earlier in the same
+  // flush window and later superseded by this announcement. A stateful
+  // sender coalesces the pair away; the pathological stateless
+  // implementation transmits "withdrawals for every explicitly and
+  // implicitly withdrawn prefix" followed by the current route — the W,A
+  // trains that put half of Figure 8's mass in the 30 s bin.
+  bool withdraw_preceded = false;
+
+  bool IsWithdraw() const { return !attributes.has_value(); }
+
+  friend bool operator==(const RouteOp&, const RouteOp&) = default;
+};
+
+// Packs a batch of route ops into wire-legal UPDATE messages: withdrawals
+// are combined, announcements are grouped by identical attribute sets, and
+// messages are split below kMaxMessageSize.
+std::vector<UpdateMessage> PackUpdates(std::span<const RouteOp> ops);
+
+enum class TimerDiscipline : std::uint8_t { kUnjittered, kJittered };
+
+struct PackerConfig {
+  Duration interval = Duration::Seconds(30);
+  TimerDiscipline discipline = TimerDiscipline::kUnjittered;
+  double jitter = 0.25;  // kJittered: flush after interval*(1±jitter)
+};
+
+// Per-peer outbound queue. Latest-wins per prefix: an announce queued after
+// a withdraw for the same prefix supersedes it within one flush window
+// (this coalescing is what can turn real flaps into apparent silence, the
+// "artificial route dampening" effect the paper describes).
+class OutboundQueue {
+ public:
+  OutboundQueue(PackerConfig config, std::uint64_t rng_seed)
+      : config_(config), rng_(rng_seed) {}
+
+  // Queues a change; arms the flush deadline if the queue was empty.
+  void Enqueue(TimePoint now, RouteOp op);
+
+  // Time of the pending flush, or TimePoint::Max() when queue is empty.
+  TimePoint NextFlush() const { return deadline_; }
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t pending_ops() const { return pending_.size(); }
+
+  // Drains the queue if the deadline has passed; returns net ops in first-
+  // enqueued order. Returns empty when called before the deadline.
+  std::vector<RouteOp> Flush(TimePoint now);
+
+ private:
+  TimePoint ComputeDeadline(TimePoint now);
+
+  PackerConfig config_;
+  Rng rng_;
+  // prefix -> (sequence number, op); sequence preserves enqueue order.
+  std::map<Prefix, std::pair<std::uint64_t, RouteOp>> pending_;
+  std::uint64_t next_seq_ = 0;
+  TimePoint deadline_ = TimePoint::Max();
+};
+
+}  // namespace iri::bgp

@@ -1,0 +1,60 @@
+#include "core/classifier.h"
+
+namespace iri::core {
+
+const char* ToString(Category c) {
+  switch (c) {
+    case Category::kWADiff: return "WADiff";
+    case Category::kAADiff: return "AADiff";
+    case Category::kWADup: return "WADup";
+    case Category::kAADup: return "AADup";
+    case Category::kWWDup: return "WWDup";
+    case Category::kWithdraw: return "Withdraw";
+    case Category::kInitial: return "Initial";
+  }
+  return "?";
+}
+
+ClassifiedEvent Classifier::Classify(const UpdateEvent& ev) {
+  ClassifiedEvent out;
+  out.event = ev;
+
+  auto [it, fresh] = state_.try_emplace(ev.Key());
+  RouteState& st = it->second;
+
+  if (ev.is_withdraw) {
+    if (fresh || st.status == RouteStatus::kWithdrawn) {
+      // Withdrawal of a route that is not announced (or never was):
+      // the paper's dominant pathology.
+      out.category = Category::kWWDup;
+    } else {
+      out.category = Category::kWithdraw;
+      st.status = RouteStatus::kWithdrawn;
+      // last_attributes intentionally retained for WADup detection.
+    }
+  } else {
+    if (fresh) {
+      out.category = Category::kInitial;
+    } else if (st.status == RouteStatus::kAnnounced) {
+      if (st.last_attributes.ForwardingEquivalent(ev.attributes)) {
+        out.category = Category::kAADup;
+        out.policy_fluctuation = !(st.last_attributes == ev.attributes);
+      } else {
+        out.category = Category::kAADiff;
+      }
+    } else {  // previously withdrawn, now re-announced
+      if (st.last_attributes.ForwardingEquivalent(ev.attributes)) {
+        out.category = Category::kWADup;
+      } else {
+        out.category = Category::kWADiff;
+      }
+    }
+    st.status = RouteStatus::kAnnounced;
+    st.last_attributes = ev.attributes;
+  }
+
+  ++totals_[static_cast<std::size_t>(out.category)];
+  return out;
+}
+
+}  // namespace iri::core

@@ -1,0 +1,100 @@
+// The paper's routing-update taxonomy (§4), implemented as a streaming
+// classifier over per-(Prefix, peer) state.
+//
+// Categories, keyed on the forwarding tuple (Prefix, NextHop, ASPATH):
+//
+//   WADiff  explicit withdrawal later replaced by a *different* route
+//           (forwarding instability)
+//   AADiff  implicit withdrawal: announcement replaced by a *different*
+//           route (forwarding instability)
+//   WADup   explicit withdrawal then re-announcement of the *same* route
+//           (forwarding instability or pathology)
+//   AADup   announcement replaced by an *identical* forwarding tuple
+//           (pathology; if non-forwarding attributes changed it is policy
+//           fluctuation — reported via the policy_fluctuation flag)
+//   WWDup   a withdrawal for a prefix that is already unreachable from that
+//           peer (pathology — the dominant class in the measured data)
+//   Withdraw  first withdrawal of an announced route: the W of a future
+//           WA pair; legitimate topology information, not yet categorizable
+//   Initial first sighting of a (Prefix, peer) announcement (table dumps,
+//           genuinely new networks) — the paper's "uncategorized"
+//
+// Instability (the paper's term) = WADiff + AADiff + WADup.
+// Pathology = AADup + WWDup.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/event.h"
+
+namespace iri::core {
+
+enum class Category : std::uint8_t {
+  kWADiff = 0,
+  kAADiff = 1,
+  kWADup = 2,
+  kAADup = 3,
+  kWWDup = 4,
+  kWithdraw = 5,
+  kInitial = 6,
+};
+inline constexpr std::size_t kNumCategories = 7;
+
+const char* ToString(Category c);
+
+// True for the classes the paper calls "instability" (forwarding
+// instability + possible pathology WADup).
+inline bool IsInstability(Category c) {
+  return c == Category::kWADiff || c == Category::kAADiff ||
+         c == Category::kWADup;
+}
+
+// True for redundant/pathological classes.
+inline bool IsPathology(Category c) {
+  return c == Category::kAADup || c == Category::kWWDup;
+}
+
+struct ClassifiedEvent {
+  UpdateEvent event;
+  Category category = Category::kInitial;
+  // For AADup: the forwarding tuple was identical but some other attribute
+  // (MED, communities, ...) changed — the paper's "policy fluctuation".
+  bool policy_fluctuation = false;
+};
+
+class Classifier {
+ public:
+  // Classifies `ev` against the per-route state and updates that state.
+  ClassifiedEvent Classify(const UpdateEvent& ev);
+
+  // Number of (Prefix, peer) routes with live state.
+  std::size_t TrackedRoutes() const { return state_.size(); }
+
+  // Running totals by category.
+  const std::array<std::uint64_t, kNumCategories>& totals() const {
+    return totals_;
+  }
+
+  void Reset() {
+    state_.clear();
+    totals_.fill(0);
+  }
+
+ private:
+  enum class RouteStatus : std::uint8_t { kAnnounced, kWithdrawn };
+
+  struct RouteState {
+    RouteStatus status = RouteStatus::kWithdrawn;
+    // Last announced attributes (survives withdrawal: WADup needs to compare
+    // a re-announcement against the route that was withdrawn).
+    bgp::PathAttributes last_attributes;
+  };
+
+  std::unordered_map<bgp::PrefixPeer, RouteState> state_;
+  std::array<std::uint64_t, kNumCategories> totals_{};
+};
+
+}  // namespace iri::core

@@ -1,0 +1,55 @@
+// The unit of analysis: a single per-prefix routing update event as seen at
+// a collection point (one route-server peering).
+//
+// A BGP UPDATE message carries many prefixes; the paper's statistics count
+// *prefix updates* ("routers ... exchange between three and six million
+// routing prefix updates each day"). ExplodeUpdate flattens messages into
+// that unit.
+#pragma once
+
+#include <vector>
+
+#include "bgp/message.h"
+#include "bgp/route.h"
+#include "netbase/time.h"
+
+namespace iri::core {
+
+struct UpdateEvent {
+  TimePoint time;
+  bgp::PeerId peer = 0;   // collector-local peering id
+  bgp::Asn peer_asn = 0;  // AS of the announcing border router
+  bool is_withdraw = false;
+  Prefix prefix;
+  bgp::PathAttributes attributes;  // meaningful only when !is_withdraw
+
+  bgp::PrefixPeer Key() const { return {prefix, peer}; }
+};
+
+// Flattens an UPDATE message into per-prefix events, withdrawals first
+// (matching their position in the wire format).
+inline void ExplodeUpdate(TimePoint now, bgp::PeerId peer, bgp::Asn peer_asn,
+                          const bgp::UpdateMessage& update,
+                          std::vector<UpdateEvent>& out) {
+  for (const Prefix& w : update.withdrawn) {
+    UpdateEvent ev;
+    ev.time = now;
+    ev.peer = peer;
+    ev.peer_asn = peer_asn;
+    ev.is_withdraw = true;
+    ev.prefix = w;
+    out.push_back(std::move(ev));
+  }
+  for (const Prefix& p : update.nlri) {
+    UpdateEvent ev;
+    ev.time = now;
+    ev.peer = peer;
+    ev.peer_asn = peer_asn;
+    ev.is_withdraw = false;
+    ev.prefix = p;
+    ev.attributes = update.attributes;
+    out.push_back(std::move(ev));
+  }
+}
+
+}  // namespace iri::core

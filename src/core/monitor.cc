@@ -1,0 +1,44 @@
+#include "core/monitor.h"
+
+namespace iri::core {
+
+void ExchangeMonitor::Attach(sim::Router& route_server) {
+  local_asn_ = route_server.config().asn;
+  route_server.SetUpdateTap(
+      [this](TimePoint now, bgp::PeerId peer, bgp::Asn peer_asn,
+             const bgp::UpdateMessage& update) {
+        Ingest(now, peer, peer_asn, update);
+      });
+}
+
+void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
+                             bgp::Asn peer_asn,
+                             const bgp::UpdateMessage& update) {
+  ++messages_seen_;
+  if (mrt_ != nullptr) {
+    mrt_->LogMessage(now, peer, static_cast<std::uint16_t>(peer_asn),
+                     static_cast<std::uint16_t>(local_asn_), update);
+  }
+  scratch_.clear();
+  ExplodeUpdate(now, peer, peer_asn, update, scratch_);
+  for (const UpdateEvent& ev : scratch_) {
+    const ClassifiedEvent classified = classifier_.Classify(ev);
+    ++events_seen_;
+    for (const Sink& sink : sinks_) sink(classified);
+  }
+}
+
+std::uint64_t ExchangeMonitor::Replay(mrt::Reader& reader) {
+  std::uint64_t updates = 0;
+  while (auto rec = reader.Next()) {
+    auto msg = rec->DecodeMessage();
+    if (!msg) continue;
+    if (const auto* update = std::get_if<bgp::UpdateMessage>(&*msg)) {
+      Ingest(rec->timestamp, rec->peer_id, rec->peer_asn, *update);
+      ++updates;
+    }
+  }
+  return updates;
+}
+
+}  // namespace iri::core

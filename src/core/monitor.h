@@ -1,0 +1,59 @@
+// The measurement apparatus: taps a route server's peerings, classifies
+// every prefix update, optionally logs raw messages in MRT form, and fans
+// classified events out to any number of statistics collectors.
+//
+// This is the software analogue of the paper's §2 methodology: "we logged
+// BGP routing messages exchanged with the Routing Arbiter project's route
+// servers ... [and] use several tools to decode and analyze the BGP packet
+// logs".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/event.h"
+#include "mrt/log.h"
+#include "sim/router.h"
+
+namespace iri::core {
+
+class ExchangeMonitor {
+ public:
+  using Sink = std::function<void(const ClassifiedEvent&)>;
+
+  // Installs this monitor as `route_server`'s update tap. The monitor must
+  // outlive the router (or the tap must be cleared first).
+  void Attach(sim::Router& route_server);
+
+  // Registers a collector callback; called for every classified event in
+  // arrival order.
+  void AddSink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  // Mirrors every tapped UPDATE message into an MRT log. Not owned.
+  void SetMrtWriter(mrt::Writer* writer) { mrt_ = writer; }
+
+  // Feeds one update message through classification and the sinks — used
+  // both by the live tap and by offline MRT replay.
+  void Ingest(TimePoint now, bgp::PeerId peer, bgp::Asn peer_asn,
+              const bgp::UpdateMessage& update);
+
+  // Replays an MRT log through the monitor (offline analysis path).
+  // Returns the number of UPDATE messages ingested.
+  std::uint64_t Replay(mrt::Reader& reader);
+
+  const Classifier& classifier() const { return classifier_; }
+  std::uint64_t events_seen() const { return events_seen_; }
+  std::uint64_t messages_seen() const { return messages_seen_; }
+
+ private:
+  Classifier classifier_;
+  std::vector<Sink> sinks_;
+  mrt::Writer* mrt_ = nullptr;
+  bgp::Asn local_asn_ = 0;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t messages_seen_ = 0;
+  std::vector<UpdateEvent> scratch_;
+};
+
+}  // namespace iri::core

@@ -1,0 +1,71 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace iri::core {
+
+std::string FormatTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = emit_row(header);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+  out += rule + "\n";
+  for (const auto& row : rows) out += emit_row(row);
+  return out;
+}
+
+std::string FormatCategoryReport(const CategoryCounts& counts) {
+  std::vector<std::vector<std::string>> rows;
+  const std::uint64_t total = counts.Total();
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    const auto c = static_cast<Category>(i);
+    const std::uint64_t n = counts.Of(c);
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.2f%%",
+                  total == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                                         static_cast<double>(total));
+    rows.push_back({ToString(c), std::to_string(n), pct});
+  }
+  std::string out =
+      FormatTable({"category", "events", "share"}, rows);
+  out += "\n";
+  out += "announcements:        " + std::to_string(counts.announcements) + "\n";
+  out += "withdrawals:          " + std::to_string(counts.withdrawals) + "\n";
+  out += "instability (WADiff+AADiff+WADup): " +
+         std::to_string(counts.Instability()) + "\n";
+  out += "pathology   (AADup+WWDup):         " +
+         std::to_string(counts.Pathology()) + "\n";
+  out += "policy fluctuations:  " + std::to_string(counts.policy_fluctuations) +
+         "\n";
+  return out;
+}
+
+std::string AsciiBar(double value, double max_value, int width) {
+  if (max_value <= 0) max_value = 1;
+  int n = static_cast<int>(value / max_value * width + 0.5);
+  n = std::clamp(n, 0, width);
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace iri::core

@@ -1,0 +1,23 @@
+// Plain-text report formatting shared by the examples and bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace iri::core {
+
+// Formats the taxonomy totals as an aligned table with an instability /
+// pathology rollup.
+std::string FormatCategoryReport(const CategoryCounts& counts);
+
+// Formats a simple fixed-width table. `rows` must all have `header.size()`
+// cells.
+std::string FormatTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+// Renders a horizontal ASCII bar scaled so the largest value spans `width`.
+std::string AsciiBar(double value, double max_value, int width = 50);
+
+}  // namespace iri::core

@@ -1,0 +1,56 @@
+// Routing-table snapshot analysis — the low-frequency complement to the
+// update-stream classifier (the approach of Govindan & Reddy, the paper's
+// ref [7], which it leans on for topology-growth claims).
+//
+// §4.1 anchors: "The Internet 'default-free' routing tables currently
+// contain approximately 42,000 prefixes with 1500 unique ASPATHs
+// interconnecting 1300 different autonomous systems."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "bgp/rib.h"
+
+namespace iri::core {
+
+struct TableComposition {
+  std::size_t prefixes = 0;        // distinct destinations
+  std::size_t routes = 0;          // (prefix, peer) paths
+  std::size_t unique_as_paths = 0; // distinct ASPATH strings over all paths
+  std::size_t autonomous_systems = 0;  // distinct ASes seen in any path
+  std::size_t multihomed = 0;      // prefixes with >1 path
+  std::size_t aggregates = 0;      // prefixes shorter than /17 (supernets)
+
+  std::string ToString() const;
+};
+
+// Walks every candidate path in `rib` and summarizes its composition.
+TableComposition AnalyzeTable(const bgp::Rib& rib);
+
+// Compares two snapshots: counts of added/removed prefixes and prefixes
+// whose best-path ASPATH changed — the table-delta rate [7] measured
+// between daily snapshots.
+struct TableDelta {
+  std::size_t added = 0;
+  std::size_t removed = 0;
+  std::size_t path_changed = 0;
+};
+
+// Captures the best-path view of a RIB for later diffing.
+class TableSnapshot {
+ public:
+  static TableSnapshot Capture(const bgp::Rib& rib);
+
+  TableDelta DiffAgainst(const TableSnapshot& later) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  // prefix -> flattened best ASPATH (string form keeps it hashable/simple).
+  std::map<Prefix, std::string> entries_;
+};
+
+}  // namespace iri::core

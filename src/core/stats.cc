@@ -1,0 +1,199 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iri::core {
+
+std::uint64_t PeerDayTally::DayTotal(int day, Category c) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, cell] : cells_) {
+    if (key.second == day) total += cell.counts.Of(c);
+  }
+  return total;
+}
+
+// --------------------------------------------------------------- Figure 7
+
+namespace {
+
+int TrackedIndex(Category c) {
+  for (std::size_t i = 0; i < PrefixPeerDaily::kTracked.size(); ++i) {
+    if (PrefixPeerDaily::kTracked[i] == c) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+void PrefixPeerDaily::Add(const ClassifiedEvent& ev) {
+  const int idx = TrackedIndex(ev.category);
+  if (idx < 0) return;
+  const int day = DayOf(ev.event.time);
+  if (day != current_day_) Roll(day);
+  ++live_[static_cast<std::size_t>(idx)][ev.event.Key()];
+}
+
+void PrefixPeerDaily::Finalize() { Roll(current_day_ + 1); }
+
+void PrefixPeerDaily::Roll(int new_day) {
+  if (current_day_ >= 0) {
+    DayDistribution dist;
+    dist.day = current_day_;
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      dist.counts[i].reserve(live_[i].size());
+      for (const auto& [key, count] : live_[i]) {
+        dist.counts[i].push_back(count);
+      }
+      std::sort(dist.counts[i].begin(), dist.counts[i].end());
+      live_[i].clear();
+    }
+    finished_.push_back(std::move(dist));
+  }
+  current_day_ = new_day;
+}
+
+std::vector<double> CumulativeEventProportion(
+    const std::vector<std::uint32_t>& counts,
+    const std::vector<std::uint32_t>& thresholds) {
+  std::vector<std::uint32_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t total = 0;
+  for (auto c : sorted) total += c;
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  std::size_t i = 0;
+  std::uint64_t cum = 0;
+  for (std::uint32_t th : thresholds) {
+    while (i < sorted.size() && sorted[i] <= th) cum += sorted[i++];
+    out.push_back(total == 0 ? 0.0
+                             : static_cast<double>(cum) /
+                                   static_cast<double>(total));
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- Figure 8
+
+const std::array<Duration, 12>& InterArrivalHistogram::BinEdges() {
+  static const std::array<Duration, 12> kEdges = {
+      Duration::Seconds(1),  Duration::Seconds(5),  Duration::Seconds(30),
+      Duration::Minutes(1),  Duration::Minutes(5),  Duration::Minutes(10),
+      Duration::Minutes(30), Duration::Hours(1),    Duration::Hours(2),
+      Duration::Hours(4),    Duration::Hours(8),    Duration::Hours(24)};
+  return kEdges;
+}
+
+const std::array<const char*, 12>& InterArrivalHistogram::BinLabels() {
+  static const std::array<const char*, 12> kLabels = {
+      "1s", "5s", "30s", "1m", "5m", "10m", "30m", "1h", "2h", "4h", "8h",
+      "24h"};
+  return kLabels;
+}
+
+int InterArrivalHistogram::BinFor(Duration gap) {
+  const auto& edges = BinEdges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (gap <= edges[i]) return static_cast<int>(i);
+  }
+  return static_cast<int>(edges.size()) - 1;  // clamp to the 24h bin
+}
+
+void InterArrivalHistogram::Add(const ClassifiedEvent& ev) {
+  const int idx = TrackedIndex(ev.category);
+  if (idx < 0) return;
+  const int day = DayOf(ev.event.time);
+  if (day != current_day_) Roll(day);
+  auto& last = last_seen_[static_cast<std::size_t>(idx)];
+  const auto key = ev.event.Key();
+  auto it = last.find(key);
+  if (it != last.end()) {
+    const Duration gap = ev.event.time - it->second;
+    ++live_.bins[static_cast<std::size_t>(idx)]
+               [static_cast<std::size_t>(BinFor(gap))];
+    it->second = ev.event.time;
+  } else {
+    last.emplace(key, ev.event.time);
+  }
+}
+
+void InterArrivalHistogram::Finalize() { Roll(current_day_ + 1); }
+
+void InterArrivalHistogram::Roll(int new_day) {
+  if (current_day_ >= 0) {
+    live_.day = current_day_;
+    finished_.push_back(live_);
+    live_ = DayHistogram{};
+  }
+  // Inter-arrival gaps are allowed to span days; last_seen_ persists.
+  current_day_ = new_day;
+}
+
+std::array<std::array<InterArrivalHistogram::BinSummary, 12>, 4>
+InterArrivalHistogram::Summarize() const {
+  std::array<std::array<BinSummary, 12>, 4> out{};
+  for (std::size_t cat = 0; cat < 4; ++cat) {
+    for (std::size_t bin = 0; bin < 12; ++bin) {
+      std::vector<double> proportions;
+      for (const auto& day : finished_) {
+        std::uint64_t day_total = 0;
+        for (std::size_t b = 0; b < 12; ++b) day_total += day.bins[cat][b];
+        if (day_total == 0) continue;
+        proportions.push_back(static_cast<double>(day.bins[cat][bin]) /
+                              static_cast<double>(day_total));
+      }
+      if (proportions.empty()) continue;
+      std::sort(proportions.begin(), proportions.end());
+      auto quantile = [&proportions](double q) {
+        const double pos = q * static_cast<double>(proportions.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, proportions.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return proportions[lo] * (1 - frac) + proportions[hi] * frac;
+      };
+      out[cat][bin] = {quantile(0.25), quantile(0.5), quantile(0.75)};
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- Figure 9
+
+void RoutesAffectedDaily::Add(const ClassifiedEvent& ev) {
+  const int day = DayOf(ev.event.time);
+  if (day != current_day_) Roll(day);
+  const auto key = ev.event.Key();
+  if (!ev.event.is_withdraw) {
+    universe_.insert(key);
+  } else if (!universe_.contains(key)) {
+    // A withdrawal for a pair that never announced reachability: not a
+    // route; do not let WWDup spray targets dilute the proportions.
+    return;
+  }
+  any_.insert(key);
+  if (ev.category == Category::kWADiff) wadiff_.insert(key);
+  if (ev.category == Category::kAADiff) aadiff_.insert(key);
+  if (IsInstability(ev.category)) instab_.insert(key);
+}
+
+void RoutesAffectedDaily::Finalize() { Roll(current_day_ + 1); }
+
+void RoutesAffectedDaily::Roll(int new_day) {
+  if (current_day_ >= 0) {
+    DayRow row;
+    row.day = current_day_;
+    row.routes_with_wadiff = wadiff_.size();
+    row.routes_with_aadiff = aadiff_.size();
+    row.routes_with_instability = instab_.size();
+    row.routes_with_any = any_.size();
+    row.universe = universe_.size();
+    finished_.push_back(row);
+  }
+  wadiff_.clear();
+  aadiff_.clear();
+  instab_.clear();
+  any_.clear();
+  current_day_ = new_day;
+}
+
+}  // namespace iri::core

@@ -1,0 +1,253 @@
+// Streaming aggregations over classified update events — one collector per
+// figure/table in the paper's evaluation. All collectors assume events
+// arrive in nondecreasing time order (they come from a discrete-event
+// simulation or a sequential log) and roll state over at scenario-day
+// boundaries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/classifier.h"
+
+namespace iri::core {
+
+inline constexpr Duration kDay = Duration::Days(1);
+
+inline int DayOf(TimePoint t) {
+  return static_cast<int>(t.nanos() / kDay.nanos());
+}
+
+// ---------------------------------------------------------------------------
+// Per-category counters (Table 1, Figure 2 rows).
+
+struct CategoryCounts {
+  std::array<std::uint64_t, kNumCategories> by_category{};
+  std::uint64_t announcements = 0;
+  std::uint64_t withdrawals = 0;
+  std::uint64_t policy_fluctuations = 0;
+
+  void Add(const ClassifiedEvent& ev) {
+    ++by_category[static_cast<std::size_t>(ev.category)];
+    if (ev.event.is_withdraw) {
+      ++withdrawals;
+    } else {
+      ++announcements;
+    }
+    if (ev.policy_fluctuation) ++policy_fluctuations;
+  }
+
+  std::uint64_t Of(Category c) const {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+  // The paper's "instability": WADiff + AADiff + WADup.
+  std::uint64_t Instability() const {
+    return Of(Category::kWADiff) + Of(Category::kAADiff) +
+           Of(Category::kWADup);
+  }
+  // The paper's "pathological instability": AADup + WWDup.
+  std::uint64_t Pathology() const {
+    return Of(Category::kAADup) + Of(Category::kWWDup);
+  }
+  std::uint64_t Total() const { return announcements + withdrawals; }
+};
+
+// Figure 2 / Figure 9 substrate: counts per scenario day.
+class DailyCategoryTally {
+ public:
+  void Add(const ClassifiedEvent& ev) {
+    const int day = DayOf(ev.event.time);
+    if (day >= static_cast<int>(days_.size())) days_.resize(day + 1);
+    days_[day].Add(ev);
+  }
+
+  const std::vector<CategoryCounts>& days() const { return days_; }
+
+ private:
+  std::vector<CategoryCounts> days_;
+};
+
+// ---------------------------------------------------------------------------
+// Figures 3 & 4: fixed-width time-bin counts of instability events.
+
+class TimeBinner {
+ public:
+  explicit TimeBinner(Duration bin_width) : width_(bin_width) {}
+
+  void Add(TimePoint t, std::uint64_t n = 1) {
+    const std::size_t bin =
+        static_cast<std::size_t>(t.nanos() / width_.nanos());
+    if (bin >= bins_.size()) bins_.resize(bin + 1, 0);
+    bins_[bin] += n;
+  }
+
+  Duration bin_width() const { return width_; }
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+  // Pads the bin vector out to cover `end` (trailing quiet bins matter for
+  // spectra and density plots).
+  void ExtendTo(TimePoint end) {
+    const std::size_t n =
+        static_cast<std::size_t>(end.nanos() / width_.nanos());
+    if (n >= bins_.size()) bins_.resize(n + 1, 0);
+  }
+
+ private:
+  Duration width_;
+  std::vector<std::uint64_t> bins_;
+};
+
+// ---------------------------------------------------------------------------
+// Figure 6: per-(peer, day) update counts by category, with an injected
+// routing-table share per peer-day (the x-axis of the scatter).
+
+class PeerDayTally {
+ public:
+  struct Cell {
+    CategoryCounts counts;
+    double table_share = 0.0;  // fraction of default-free table via peer
+    bgp::Asn peer_asn = 0;
+  };
+
+  void Add(const ClassifiedEvent& ev) {
+    Cell& cell = cells_[{ev.event.peer, DayOf(ev.event.time)}];
+    cell.counts.Add(ev);
+    cell.peer_asn = ev.event.peer_asn;
+  }
+
+  void SetTableShare(bgp::PeerId peer, int day, double share,
+                     bgp::Asn peer_asn) {
+    Cell& cell = cells_[{peer, day}];
+    cell.table_share = share;
+    cell.peer_asn = peer_asn;
+  }
+
+  // Keyed by (peer, day); ordered map for deterministic output.
+  const std::map<std::pair<bgp::PeerId, int>, Cell>& cells() const {
+    return cells_;
+  }
+
+  // Day-total for a category (denominator of the scatter's y-axis).
+  std::uint64_t DayTotal(int day, Category c) const;
+
+ private:
+  std::map<std::pair<bgp::PeerId, int>, Cell> cells_;
+};
+
+// ---------------------------------------------------------------------------
+// Figure 7: daily distributions of per-Prefix+AS event counts, per category.
+
+class PrefixPeerDaily {
+ public:
+  // The four categories Figure 7 plots.
+  static constexpr std::array<Category, 4> kTracked = {
+      Category::kAADiff, Category::kWADiff, Category::kAADup,
+      Category::kWADup};
+
+  struct DayDistribution {
+    int day = 0;
+    // For each tracked category: the multiset of per-Prefix+AS counts.
+    std::array<std::vector<std::uint32_t>, 4> counts;
+  };
+
+  void Add(const ClassifiedEvent& ev);
+  // Flushes the in-progress day (call once after the last event).
+  void Finalize();
+
+  const std::vector<DayDistribution>& days() const { return finished_; }
+
+ private:
+  void Roll(int new_day);
+
+  int current_day_ = -1;
+  std::array<std::unordered_map<bgp::PrefixPeer, std::uint32_t>, 4> live_;
+  std::vector<DayDistribution> finished_;
+};
+
+// Computes the cumulative-proportion curve of Figure 7 for one day/category:
+// result[i] = fraction of events contributed by Prefix+AS pairs with count
+// <= thresholds[i].
+std::vector<double> CumulativeEventProportion(
+    const std::vector<std::uint32_t>& counts,
+    const std::vector<std::uint32_t>& thresholds);
+
+// ---------------------------------------------------------------------------
+// Figure 8: histogram of inter-arrival times between successive events of
+// the same category on the same Prefix+AS, binned on a log-time scale,
+// summarized per day.
+
+class InterArrivalHistogram {
+ public:
+  // Upper edges of the paper's histogram bins.
+  static const std::array<Duration, 12>& BinEdges();
+  static const std::array<const char*, 12>& BinLabels();
+
+  struct DayHistogram {
+    int day = 0;
+    // [category 0..3 as in PrefixPeerDaily::kTracked][bin]
+    std::array<std::array<std::uint64_t, 12>, 4> bins{};
+  };
+
+  void Add(const ClassifiedEvent& ev);
+  void Finalize();
+
+  const std::vector<DayHistogram>& days() const { return finished_; }
+
+  // Box-plot summary across days: per category/bin, the {first quartile,
+  // median, third quartile} of the daily *proportions* in that bin.
+  struct BinSummary {
+    double q1 = 0, median = 0, q3 = 0;
+  };
+  std::array<std::array<BinSummary, 12>, 4> Summarize() const;
+
+ private:
+  void Roll(int new_day);
+  static int BinFor(Duration gap);
+
+  int current_day_ = -1;
+  DayHistogram live_{};
+  // Last event time per (category, Prefix+AS).
+  std::array<std::unordered_map<bgp::PrefixPeer, TimePoint>, 4> last_seen_;
+  std::vector<DayHistogram> finished_;
+};
+
+// ---------------------------------------------------------------------------
+// Figure 9: per day, how many distinct Prefix+AS routes saw at least one
+// event of each class, as a fraction of the route universe.
+//
+// "Routes" means tuples that have carried reachability at least once:
+// announced (Prefix, peer) pairs. Withdrawals aimed at pairs that never
+// announced anything (pure WWDup spray targets) are not routes — they never
+// entered any routing table — and are excluded from both numerator and
+// denominator (see EXPERIMENTS.md).
+
+class RoutesAffectedDaily {
+ public:
+  struct DayRow {
+    int day = 0;
+    std::uint64_t routes_with_wadiff = 0;
+    std::uint64_t routes_with_aadiff = 0;
+    std::uint64_t routes_with_instability = 0;  // any of the three
+    std::uint64_t routes_with_any = 0;          // any category at all
+    std::uint64_t universe = 0;  // distinct announced Prefix+AS so far
+  };
+
+  void Add(const ClassifiedEvent& ev);
+  void Finalize();
+
+  const std::vector<DayRow>& days() const { return finished_; }
+
+ private:
+  void Roll(int new_day);
+
+  int current_day_ = -1;
+  std::unordered_set<bgp::PrefixPeer> universe_;
+  std::unordered_set<bgp::PrefixPeer> wadiff_, aadiff_, instab_, any_;
+  std::vector<DayRow> finished_;
+};
+
+}  // namespace iri::core

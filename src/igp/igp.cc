@@ -1,0 +1,104 @@
+#include "igp/igp.h"
+
+#include <queue>
+
+namespace iri::igp {
+
+NodeId IgpProcess::AddNode(std::string name) {
+  nodes_.push_back(std::move(name));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+std::size_t IgpProcess::AddLink(NodeId a, NodeId b, std::uint32_t cost) {
+  links_.push_back({a, b, cost, true});
+  return links_.size() - 1;
+}
+
+void IgpProcess::AttachPrefix(NodeId node, const Prefix& prefix) {
+  attachments_.push_back({node, prefix});
+  exported_.push_back({prefix, false, IgpConfig::kUnreachable});
+}
+
+void IgpProcess::SetLinkUp(std::size_t link, bool up) {
+  links_[link].up = up;
+}
+
+void IgpProcess::SetLinkCost(std::size_t link, std::uint32_t cost) {
+  links_[link].cost = cost;
+}
+
+void IgpProcess::Start() {
+  started_ = true;
+  RunSpf();  // initial announcement
+  ScheduleTick();
+}
+
+void IgpProcess::ScheduleTick() {
+  // Fixed phase: the next multiple of the SPF interval (unjittered).
+  const std::int64_t interval = config_.spf_interval.nanos();
+  const std::int64_t k = sched_.Now().nanos() / interval + 1;
+  sched_.At(TimePoint::FromNanos(k * interval), [this] {
+    if (!started_) return;
+    RunSpf();
+    ScheduleTick();
+  });
+}
+
+std::vector<std::uint32_t> IgpProcess::ShortestPaths() const {
+  // Dijkstra over the up links from the border node.
+  std::vector<std::uint32_t> dist(nodes_.size(), IgpConfig::kUnreachable);
+  // Adjacency on the fly (topologies are small: one AS's backbone).
+  using Entry = std::pair<std::uint32_t, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[border_] = 0;
+  heap.push({0, border_});
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (d > dist[node]) continue;
+    for (const Link& link : links_) {
+      if (!link.up) continue;
+      NodeId next;
+      if (link.a == node) {
+        next = link.b;
+      } else if (link.b == node) {
+        next = link.a;
+      } else {
+        continue;
+      }
+      const std::uint32_t nd = d + link.cost;
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        heap.push({nd, next});
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t IgpProcess::RunSpf() {
+  ++spf_runs_;
+  const std::vector<std::uint32_t> dist = ShortestPaths();
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < attachments_.size(); ++i) {
+    const auto& att = attachments_[i];
+    IgpRoute next;
+    next.prefix = att.prefix;
+    next.metric = dist[att.node];
+    next.reachable = next.metric != IgpConfig::kUnreachable;
+    if (next == exported_[i]) continue;
+    exported_[i] = next;
+    ++changed;
+    if (redistribute_) redistribute_(next);
+  }
+  return changed;
+}
+
+std::uint32_t IgpProcess::MetricOf(const Prefix& prefix) const {
+  for (const auto& route : exported_) {
+    if (route.prefix == prefix) return route.metric;
+  }
+  return IgpConfig::kUnreachable;
+}
+
+}  // namespace iri::igp

@@ -1,0 +1,125 @@
+// A link-state interior gateway protocol (OSPF-like) running inside one AS,
+// plus the IGP→BGP redistribution adapter — the substrate behind the
+// paper's most-suspected mechanism:
+//
+//   "Another plausible explanation for the source of the periodic routing
+//   instability may be the improper configuration of the interaction
+//   between interior gateway protocols (IGP) and BGP. ... Since the
+//   conversion between protocols is lossy, path information is not
+//   preserved across protocols and routers will not be able to detect an
+//   inter-protocol routing update oscillation. This type of interaction is
+//   highly suspect as most IGP protocols utilize internal timers based on
+//   some multiple of 30 seconds."
+//
+// The model: an intra-AS topology of nodes and weighted links; prefixes
+// attach to nodes; the border node runs shortest-path-first on a fixed
+// 30-second unjittered timer (the real source of the quantization — link
+// events only become routing changes at SPF ticks) and redistributes
+// reachability into BGP. The conversion IS lossy: only (reachable, metric)
+// survives; the metric maps to MED, so an internal cost oscillation
+// surfaces at the exchange as tuple-identical policy fluctuation (AADup),
+// and internal partition flaps surface as W/A trains quantized to the SPF
+// period.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/time.h"
+#include "sim/scheduler.h"
+
+namespace iri::igp {
+
+using NodeId = std::uint32_t;
+
+struct IgpConfig {
+  // SPF runs at fixed wall-phase multiples of this interval (the vendor's
+  // unjittered 30 s timer family).
+  Duration spf_interval = Duration::Seconds(30);
+  // Infinity for unreachable destinations.
+  static constexpr std::uint32_t kUnreachable =
+      std::numeric_limits<std::uint32_t>::max();
+};
+
+// One route the IGP exports toward BGP after an SPF run.
+struct IgpRoute {
+  Prefix prefix;
+  bool reachable = false;
+  std::uint32_t metric = IgpConfig::kUnreachable;  // SPF cost from border
+
+  friend bool operator==(const IgpRoute&, const IgpRoute&) = default;
+};
+
+class IgpProcess {
+ public:
+  // Redistribution callback: invoked at SPF completion for every prefix
+  // whose (reachable, metric) changed since the previous SPF.
+  using RedistributionFn = std::function<void(const IgpRoute&)>;
+
+  IgpProcess(sim::Scheduler& sched, IgpConfig config)
+      : sched_(sched), config_(config) {}
+
+  // --- topology construction (before Start) ---
+  NodeId AddNode(std::string name);
+  // Undirected weighted adjacency. Returns a link id.
+  std::size_t AddLink(NodeId a, NodeId b, std::uint32_t cost);
+  void AttachPrefix(NodeId node, const Prefix& prefix);
+  // The node whose SPF view is redistributed (the AS border router).
+  void SetBorderNode(NodeId node) { border_ = node; }
+
+  void SetRedistribution(RedistributionFn fn) { redistribute_ = std::move(fn); }
+
+  // --- runtime ---
+  // Schedules the periodic SPF. The first run announces every reachable
+  // prefix.
+  void Start();
+
+  // Marks a link up/down (or changes its cost). Takes effect at the NEXT
+  // SPF tick — the quantization the paper's 30 s periodicity rides on.
+  void SetLinkUp(std::size_t link, bool up);
+  void SetLinkCost(std::size_t link, std::uint32_t cost);
+
+  // Runs SPF immediately (also used by the periodic timer). Returns the
+  // number of redistributed (changed) routes.
+  std::size_t RunSpf();
+
+  // Current view (post last SPF) for a prefix; kUnreachable if down.
+  std::uint32_t MetricOf(const Prefix& prefix) const;
+
+  std::uint64_t spf_runs() const { return spf_runs_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Link {
+    NodeId a, b;
+    std::uint32_t cost;
+    bool up = true;
+  };
+  struct Attachment {
+    NodeId node;
+    Prefix prefix;
+  };
+
+  void ScheduleTick();
+  // Dijkstra from the border node over up links.
+  std::vector<std::uint32_t> ShortestPaths() const;
+
+  sim::Scheduler& sched_;
+  IgpConfig config_;
+  std::vector<std::string> nodes_;
+  std::vector<Link> links_;
+  std::vector<Attachment> attachments_;
+  NodeId border_ = 0;
+  RedistributionFn redistribute_;
+  bool started_ = false;
+
+  // Last redistributed state per attachment index.
+  std::vector<IgpRoute> exported_;
+  std::uint64_t spf_runs_ = 0;
+};
+
+}  // namespace iri::igp

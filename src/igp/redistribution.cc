@@ -1,0 +1,30 @@
+#include "igp/redistribution.h"
+
+#include <algorithm>
+
+namespace iri::igp {
+
+BgpRedistributor::BgpRedistributor(IgpProcess& igp, sim::Router& router,
+                                   Options options)
+    : router_(router), options_(std::move(options)) {
+  std::sort(options_.communities.begin(), options_.communities.end());
+  igp.SetRedistribution([this](const IgpRoute& route) { OnRoute(route); });
+}
+
+void BgpRedistributor::OnRoute(const IgpRoute& route) {
+  if (!route.reachable) {
+    ++withdrawals_;
+    router_.WithdrawLocal(route.prefix);
+    return;
+  }
+  bgp::Route bgp_route;
+  bgp_route.prefix = route.prefix;
+  bgp_route.attributes.origin = bgp::Origin::kIncomplete;  // redistributed
+  bgp_route.attributes.as_path = bgp::AsPath::Sequence(options_.downstream_path);
+  bgp_route.attributes.communities = options_.communities;
+  if (options_.metric_to_med) bgp_route.attributes.med = route.metric;
+  ++announcements_;
+  router_.Originate(bgp_route);
+}
+
+}  // namespace iri::igp

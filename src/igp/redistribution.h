@@ -1,0 +1,48 @@
+// IGP → BGP redistribution: the lossy protocol conversion.
+//
+// The adapter turns IgpRoute changes into Originate/WithdrawLocal calls on
+// a border Router. Only (prefix, reachable, metric) crosses the boundary;
+// path information does not exist in the IGP and so "routers will not be
+// able to detect an inter-protocol routing update oscillation". The IGP
+// metric is copied into MED (the classic redistribute-with-metric
+// configuration), so internal cost oscillations reach the exchange as
+// tuple-identical attribute churn — policy fluctuation / AADup.
+#pragma once
+
+#include <vector>
+
+#include "igp/igp.h"
+#include "sim/router.h"
+
+namespace iri::igp {
+
+class BgpRedistributor {
+ public:
+  struct Options {
+    // Communities stamped on redistributed routes (the scenario's own-route
+    // and aggregated tags, typically).
+    std::vector<bgp::Community> communities;
+    // Copy the IGP metric into MED (lossy but standard).
+    bool metric_to_med = true;
+    // Downstream AS path carried by the redistributed route (e.g. a
+    // customer AS), empty for provider-internal prefixes.
+    std::vector<bgp::Asn> downstream_path;
+  };
+
+  // Installs itself as `igp`'s redistribution callback, targeting `router`.
+  // Both must outlive the redistributor (or the IGP must stop first).
+  BgpRedistributor(IgpProcess& igp, sim::Router& router, Options options);
+
+  std::uint64_t announcements() const { return announcements_; }
+  std::uint64_t withdrawals() const { return withdrawals_; }
+
+ private:
+  void OnRoute(const IgpRoute& route);
+
+  sim::Router& router_;
+  Options options_;
+  std::uint64_t announcements_ = 0;
+  std::uint64_t withdrawals_ = 0;
+};
+
+}  // namespace iri::igp

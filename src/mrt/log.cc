@@ -1,0 +1,120 @@
+#include "mrt/log.h"
+
+#include "netbase/bytes.h"
+#include "netbase/crc32.h"
+
+namespace iri::mrt {
+
+void EncodeRecord(const Record& record, std::vector<std::uint8_t>& out) {
+  ByteWriter w;
+  w.U64(static_cast<std::uint64_t>(record.timestamp.nanos()));
+  w.U16(kTypeBgp4mp);
+  w.U16(kSubtypeMessage);
+  w.U16(record.peer_asn);
+  w.U16(record.local_asn);
+  w.U32(record.peer_id);
+  w.U32(static_cast<std::uint32_t>(record.payload.size()));
+  w.Bytes(record.payload);
+  const std::uint32_t crc = Crc32(w.data());
+  w.U32(crc);
+  const auto& bytes = w.data();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+Writer::Writer(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  ok_ = file_ != nullptr;
+}
+
+Writer::~Writer() { Close(); }
+
+void Writer::Append(const Record& record) {
+  if (!ok_) return;
+  if (file_ != nullptr) {
+    std::vector<std::uint8_t> bytes;
+    EncodeRecord(record, bytes);
+    ok_ = std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size();
+  } else {
+    EncodeRecord(record, buffer_);
+  }
+  ++records_;
+}
+
+void Writer::LogMessage(TimePoint now, std::uint32_t peer_id,
+                        std::uint16_t peer_asn, std::uint16_t local_asn,
+                        const bgp::Message& msg) {
+  Record rec;
+  rec.timestamp = now;
+  rec.peer_id = peer_id;
+  rec.peer_asn = peer_asn;
+  rec.local_asn = local_asn;
+  rec.payload = bgp::Encode(msg);
+  Append(rec);
+}
+
+void Writer::Flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void Writer::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Reader::Reader(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    ok_ = false;
+    return;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  owned_.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+  if (!owned_.empty() &&
+      std::fread(owned_.data(), 1, owned_.size(), f) != owned_.size()) {
+    ok_ = false;
+  }
+  std::fclose(f);
+  data_ = owned_;
+}
+
+std::optional<Record> Reader::Next() {
+  // Fixed header: 8+2+2+2+2+4+4 = 24 bytes, then payload, then 4-byte CRC.
+  constexpr std::size_t kHeader = 24;
+  while (ok_ && data_.size() - pos_ >= kHeader + 4) {
+    ByteReader r(data_.subspan(pos_));
+    Record rec;
+    rec.timestamp = TimePoint::FromNanos(static_cast<std::int64_t>(r.U64()));
+    const std::uint16_t type = r.U16();
+    const std::uint16_t subtype = r.U16();
+    rec.peer_asn = r.U16();
+    rec.local_asn = r.U16();
+    rec.peer_id = r.U32();
+    const std::uint32_t payload_len = r.U32();
+    if (payload_len > bgp::kMaxMessageSize ||
+        data_.size() - pos_ < kHeader + payload_len + 4) {
+      // A corrupt length field: cannot re-synchronize, end the log here.
+      ok_ = false;
+      return std::nullopt;
+    }
+    auto payload = r.Bytes(payload_len);
+    rec.payload.assign(payload.begin(), payload.end());
+    const std::uint32_t stored_crc = r.U32();
+    const std::uint32_t actual_crc =
+        Crc32(data_.subspan(pos_, kHeader + payload_len));
+    pos_ += kHeader + payload_len + 4;
+    if (type != kTypeBgp4mp || subtype != kSubtypeMessage ||
+        stored_crc != actual_crc) {
+      ++crc_failures_;
+      continue;  // skip the damaged record, stay in sync via the length
+    }
+    ++records_;
+    return rec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace iri::mrt

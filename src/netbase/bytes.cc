@@ -1,0 +1,4 @@
+#include "netbase/bytes.h"
+
+// Header-only in practice; this TU exists so the library has a home for the
+// classes and so future out-of-line helpers do not force a CMake change.

@@ -1,0 +1,36 @@
+#include "netbase/crc32.h"
+
+#include <array>
+
+namespace iri {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  crc = ~crc;
+  for (std::uint8_t b : data) {
+    crc = kTable[(crc ^ b) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data) {
+  return Crc32Update(0, data);
+}
+
+}  // namespace iri

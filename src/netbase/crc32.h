@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to protect MRT log records.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace iri {
+
+// One-shot CRC over `data`. Equivalent to Crc32Update(0xFFFFFFFF^..., ...)
+// with the standard pre/post conditioning.
+std::uint32_t Crc32(std::span<const std::uint8_t> data);
+
+// Streaming form: fold more data into a running crc started at 0.
+std::uint32_t Crc32Update(std::uint32_t crc, std::span<const std::uint8_t> data);
+
+}  // namespace iri

@@ -1,0 +1,23 @@
+#include "netbase/time.h"
+
+#include <cstdio>
+
+namespace iri {
+
+std::string FormatScenarioTime(TimePoint t) {
+  const std::int64_t total_ms = t.nanos() / 1'000'000;
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t total_s = total_ms / 1000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = (total_s / 3600) % 24;
+  const std::int64_t day = total_s / 86400;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%lld %02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(day), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace iri

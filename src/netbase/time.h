@@ -1,0 +1,91 @@
+// Simulated-time value types shared by the protocol and simulator layers.
+//
+// All of iri runs on simulated time: an int64 count of nanoseconds since the
+// start of a scenario. Strong types (rather than bare int64) keep seconds
+// and nanoseconds from being mixed, and the division into Duration/TimePoint
+// mirrors std::chrono without dragging in its template machinery at every
+// call site.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace iri {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(std::int64_t n) { return Duration(n * 1'000); }
+  static constexpr Duration Millis(std::int64_t n) { return Duration(n * 1'000'000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Duration Minutes(double m) { return Seconds(m * 60); }
+  static constexpr Duration Hours(double h) { return Seconds(h * 3600); }
+  static constexpr Duration Days(double d) { return Hours(d * 24); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ToHours() const { return ToSeconds() / 3600.0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.ns_ + b.ns_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.ns_ - b.ns_);
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(a.ns_) * k));
+  }
+  friend constexpr Duration operator*(double k, Duration a) { return a * k; }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Duration& operator+=(Duration b) { ns_ += b.ns_; return *this; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint FromNanos(std::int64_t n) { return TimePoint(n); }
+  static constexpr TimePoint Origin() { return TimePoint(0); }
+  // A sentinel later than any scenario timestamp.
+  static constexpr TimePoint Max() { return TimePoint(INT64_MAX); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr Duration SinceOrigin() const {
+    return Duration::Nanos(ns_);
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint(t.ns_ + d.nanos());
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.ns_ - d.nanos());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::Nanos(a.ns_ - b.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.nanos(); return *this; }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+  friend constexpr bool operator==(TimePoint, TimePoint) = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+// Formats as "d3 14:05:09.250" (scenario day, 24h clock) — the layout used
+// by the density and week figures.
+std::string FormatScenarioTime(TimePoint t);
+
+}  // namespace iri

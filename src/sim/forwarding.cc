@@ -1,0 +1,97 @@
+#include "sim/forwarding.h"
+
+#include <vector>
+
+namespace iri::sim {
+
+void ForwardingEngine::ChargeCpu(Duration cost, TimePoint now) {
+  if (cpu_busy_until_ < now) cpu_busy_until_ = now;
+  cpu_busy_until_ += cost;
+}
+
+void ForwardingEngine::OnRouteChange(const Prefix& prefix,
+                                     IPv4Address next_hop, TimePoint now) {
+  fib_.Insert(prefix, next_hop);
+  ChargeCpu(params_.update_cost, now);
+  if (params_.architecture == ForwardingArchitecture::kRouteCache) {
+    InvalidateCovered(prefix);
+  }
+}
+
+void ForwardingEngine::OnRouteWithdrawn(const Prefix& prefix, TimePoint now) {
+  fib_.Erase(prefix);
+  ChargeCpu(params_.update_cost, now);
+  if (params_.architecture == ForwardingArchitecture::kRouteCache) {
+    InvalidateCovered(prefix);
+  }
+}
+
+void ForwardingEngine::InvalidateCovered(const Prefix& prefix) {
+  // Purge every cached /24 covered by (or covering) the changed prefix: a
+  // less-specific change can alter the best match for all of them, and a
+  // more-specific change shadows part of a cached block.
+  std::vector<Prefix> victims;
+  for (const auto& [key, entry] : cache_) {
+    if (prefix.Covers(key) || key.Covers(prefix)) victims.push_back(key);
+  }
+  for (const Prefix& key : victims) {
+    auto it = cache_.find(key);
+    lru_.erase(it->second.lru_position);
+    cache_.erase(it);
+    ++stats_.invalidations;
+  }
+}
+
+void ForwardingEngine::InsertCacheEntry(const Prefix& key,
+                                        IPv4Address next_hop) {
+  if (cache_.size() >= params_.cache_capacity && !lru_.empty()) {
+    // Evict the least recently used entry.
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  cache_[key] = {next_hop, lru_.begin()};
+}
+
+bool ForwardingEngine::Forward(IPv4Address destination, TimePoint now) {
+  ++stats_.lookups;
+
+  if (params_.architecture == ForwardingArchitecture::kFullTable) {
+    // The forwarding hardware holds the whole table: constant cost, no CPU
+    // involvement, no instability coupling.
+    const auto match = fib_.LongestMatch(destination);
+    if (!match) {
+      ++stats_.no_route;
+      return false;
+    }
+    ++stats_.fast_path;
+    return true;
+  }
+
+  const Prefix key = CacheKey(destination);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Fast path: refresh recency, switch on the line card.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    ++stats_.fast_path;
+    return true;
+  }
+
+  // Miss: the packet punts to the CPU. If the CPU queue is too deep the
+  // input queue overflows and the packet is lost.
+  ++stats_.misses;
+  if (CpuBacklog(now) > params_.cpu_queue_limit) {
+    ++stats_.drops;
+    return false;
+  }
+  ChargeCpu(params_.slow_path_cost, now);
+  const auto match = fib_.LongestMatch(destination);
+  if (!match) {
+    ++stats_.no_route;
+    return false;
+  }
+  InsertCacheEntry(key, *match->second);
+  return true;
+}
+
+}  // namespace iri::sim

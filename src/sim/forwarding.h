@@ -1,0 +1,121 @@
+// Route-cache forwarding engine model (paper §3).
+//
+// "A significant number of the core Internet routers today are based on a
+// route caching architecture. ... As long as the interface card finds a
+// cache entry for an incoming packet's destination addresses, the packet is
+// switched on a 'fast-path' independently of the router CPU. Under
+// sustained levels of routing instability, the cache undergoes frequent
+// updates and the probability of a packet encountering a cache miss
+// increases. A large number of cache misses results in increased load on
+// the CPU, increased switching latency and the 'dropping', or loss of
+// packets."
+//
+// Two forwarding engines are modeled:
+//  * kRouteCache — an LRU destination cache in front of a CPU-resident FIB.
+//    Hits switch at line rate; misses queue on the CPU; route changes
+//    invalidate covered cache entries; a saturated CPU queue drops packets.
+//  * kFullTable — "a new generation of routers that do not require caching
+//    and are able to maintain the full routing table in memory on the
+//    forwarding hardware": constant-cost lookups, no instability coupling.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "netbase/ipv4.h"
+#include "netbase/radix_trie.h"
+#include "netbase/time.h"
+
+namespace iri::sim {
+
+enum class ForwardingArchitecture : std::uint8_t {
+  kRouteCache,
+  kFullTable,
+};
+
+class ForwardingEngine {
+ public:
+  struct Params {
+    ForwardingArchitecture architecture = ForwardingArchitecture::kRouteCache;
+    std::size_t cache_capacity = 4096;          // interface-card cache slots
+    Duration fast_path_cost = Duration::Micros(1);   // cache hit (line card)
+    Duration slow_path_cost = Duration::Micros(60);  // miss: CPU FIB lookup
+    Duration full_table_cost = Duration::Micros(3);  // kFullTable lookup
+    // CPU input queue bound: a miss arriving when the CPU is more than this
+    // far behind is dropped (input queue overflow).
+    Duration cpu_queue_limit = Duration::Millis(20);
+    // Route-update processing also runs on the CPU.
+    Duration update_cost = Duration::Micros(120);
+  };
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t fast_path = 0;     // cache hits (or all, for kFullTable)
+    std::uint64_t misses = 0;        // punted to the CPU
+    std::uint64_t drops = 0;         // CPU queue overflow
+    std::uint64_t no_route = 0;      // FIB lookup failed entirely
+    std::uint64_t invalidations = 0; // cache entries purged by updates
+
+    double MissRate() const {
+      return lookups ? static_cast<double>(misses) /
+                           static_cast<double>(lookups)
+                     : 0;
+    }
+    double DropRate() const {
+      return lookups ? static_cast<double>(drops) /
+                           static_cast<double>(lookups)
+                     : 0;
+    }
+  };
+
+  explicit ForwardingEngine(Params params) : params_(params) {}
+
+  // --- FIB maintenance (driven by the routing process) ---
+  // Installs/changes the route for `prefix`; invalidates covered cache
+  // entries and charges CPU update cost.
+  void OnRouteChange(const Prefix& prefix, IPv4Address next_hop,
+                     TimePoint now);
+  // Removes the route; also invalidates.
+  void OnRouteWithdrawn(const Prefix& prefix, TimePoint now);
+
+  // --- data path ---
+  // Forwards one packet to `destination` at `now`. Returns true if the
+  // packet was switched, false if it was dropped (queue overflow or no
+  // route).
+  bool Forward(IPv4Address destination, TimePoint now);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t cache_size() const { return cache_.size(); }
+  std::size_t fib_size() const { return fib_.size(); }
+  Duration CpuBacklog(TimePoint now) const {
+    return cpu_busy_until_ > now ? cpu_busy_until_ - now : Duration();
+  }
+
+ private:
+  // Cache granularity is /24 (the dominant customer allocation unit of the
+  // measurement era), keyed by the destination's /24 block.
+  static Prefix CacheKey(IPv4Address destination) {
+    return Prefix(destination, 24);
+  }
+
+  void InsertCacheEntry(const Prefix& key, IPv4Address next_hop);
+  void InvalidateCovered(const Prefix& prefix);
+  void ChargeCpu(Duration cost, TimePoint now);
+
+  Params params_;
+  RadixTrie<IPv4Address> fib_;
+
+  // LRU cache: map key -> (next hop, position in the recency list).
+  struct CacheEntry {
+    IPv4Address next_hop;
+    std::list<Prefix>::iterator lru_position;
+  };
+  std::unordered_map<Prefix, CacheEntry> cache_;
+  std::list<Prefix> lru_;  // front = most recent
+
+  TimePoint cpu_busy_until_;
+  Stats stats_;
+};
+
+}  // namespace iri::sim

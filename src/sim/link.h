@@ -1,0 +1,143 @@
+// Point-to-point link model connecting two router endpoints.
+//
+// Links carry encoded BGP messages (real wire bytes — every hop exercises
+// the codec) with a fixed propagation latency. A link can be failed and
+// restored by scenario code, by the leased-line failure process, or by the
+// CSU clock-drift oscillator (§4.2's "misconfigured CSUs ... cause the line
+// to oscillate"): router interface cards are "sensitive to millisecond loss
+// of line carrier", so even a brief carrier drop takes the BGP transport
+// down with it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/rng.h"
+#include "netbase/time.h"
+#include "sim/scheduler.h"
+
+namespace iri::sim {
+
+// Implemented by Router. Links call these to deliver transport events.
+class LinkEndpoint {
+ public:
+  virtual ~LinkEndpoint() = default;
+  virtual void OnTransportUp(std::uint32_t local_peer_id) = 0;
+  virtual void OnTransportDown(std::uint32_t local_peer_id) = 0;
+  virtual void OnWireData(std::uint32_t local_peer_id,
+                          std::vector<std::uint8_t> bytes) = 0;
+};
+
+class Link {
+ public:
+  Link(Scheduler& sched, Duration latency) : sched_(sched), latency_(latency) {}
+
+  // Wires up side A/B. `peer_id` is the identifier the endpoint uses for
+  // this adjacency (each router numbers its own peers).
+  void AttachA(LinkEndpoint* ep, std::uint32_t peer_id) { a_ = {ep, peer_id}; }
+  void AttachB(LinkEndpoint* ep, std::uint32_t peer_id) { b_ = {ep, peer_id}; }
+
+  bool up() const { return up_; }
+  std::uint64_t messages_carried() const { return messages_carried_; }
+  std::uint64_t bytes_carried() const { return bytes_carried_; }
+
+  // Brings the link (and transport) up; notifies both endpoints.
+  void Restore();
+
+  // Takes the link down; in-flight data is lost, endpoints are notified.
+  void Fail();
+
+  // Sends bytes from endpoint `from` to the other side, delivered after the
+  // propagation latency if the link is still up at delivery time (a fail
+  // between send and delivery drops the data, as TCP segments in flight are
+  // lost when carrier drops).
+  void Send(const LinkEndpoint* from, std::vector<std::uint8_t> bytes);
+
+ private:
+  struct Side {
+    LinkEndpoint* endpoint = nullptr;
+    std::uint32_t peer_id = 0;
+  };
+
+  Scheduler& sched_;
+  Duration latency_;
+  Side a_, b_;
+  bool up_ = false;
+  std::uint64_t epoch_ = 0;  // bumped on every Fail; stale deliveries dropped
+  std::uint64_t messages_carried_ = 0;
+  std::uint64_t bytes_carried_ = 0;
+};
+
+// Poisson leased-line failure process: exponentially distributed time to
+// failure and time to repair. Drives Fail/Restore on the link forever.
+// The rate can be modulated by scenario code (diurnal congestion raises the
+// effective failure rate — the paper's usage/instability correlation).
+class LineFailureProcess {
+ public:
+  struct Params {
+    Duration mean_time_to_failure = Duration::Hours(24 * 14);
+    Duration mean_time_to_repair = Duration::Minutes(8);
+  };
+
+  LineFailureProcess(Scheduler& sched, Link& link, Params params,
+                     std::uint64_t seed)
+      : sched_(sched), link_(link), params_(params), rng_(seed) {}
+
+  // Starts the process (first failure scheduled from now).
+  void Start();
+
+  // Rate multiplier >= 0; 1.0 = nominal. Sampled when each next failure is
+  // scheduled, so scenario code can steer it over time.
+  void SetRateMultiplier(double m) { rate_multiplier_ = m; }
+  double rate_multiplier() const { return rate_multiplier_; }
+
+  std::uint64_t failures() const { return failures_; }
+
+ private:
+  void ScheduleFailure();
+  void ScheduleRepair();
+
+  Scheduler& sched_;
+  Link& link_;
+  Params params_;
+  Rng rng_;
+  double rate_multiplier_ = 1.0;
+  std::uint64_t failures_ = 0;
+};
+
+// CSU clock-drift oscillator: while an episode is active the line flaps with
+// a beat period derived from the clock drift; episodes recur. Periods are
+// near-constant (clocks drift slowly), producing the periodic W/A update
+// trains the paper suspects behind some of the 30 s structure.
+class CsuOscillator {
+ public:
+  struct Params {
+    Duration beat_period = Duration::Seconds(30);  // line drops every beat
+    Duration carrier_loss = Duration::Millis(800); // how long carrier drops
+    Duration episode_length = Duration::Minutes(3);
+    Duration mean_episode_gap = Duration::Hours(6);
+    double period_wobble = 0.02;  // ±2% beat-to-beat variation
+  };
+
+  CsuOscillator(Scheduler& sched, Link& link, Params params,
+                std::uint64_t seed)
+      : sched_(sched), link_(link), params_(params), rng_(seed) {}
+
+  void Start();
+
+  std::uint64_t episodes() const { return episodes_; }
+  std::uint64_t beats() const { return beats_; }
+
+ private:
+  void ScheduleEpisode();
+  void Beat(TimePoint episode_end);
+
+  Scheduler& sched_;
+  Link& link_;
+  Params params_;
+  Rng rng_;
+  std::uint64_t episodes_ = 0;
+  std::uint64_t beats_ = 0;
+};
+
+}  // namespace iri::sim

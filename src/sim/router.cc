@@ -1,0 +1,504 @@
+#include "sim/router.h"
+
+#include <cassert>
+
+namespace iri::sim {
+
+Router::Router(Scheduler& sched, RouterConfig config, std::uint64_t seed)
+    : sched_(sched),
+      config_(std::move(config)),
+      rng_(seed),
+      dampener_(config_.dampening),
+      busy_until_(TimePoint::Origin()) {
+  rib_.AddPeer(bgp::kLocalPeer, IPv4Address(0));
+}
+
+bgp::PeerId Router::AttachLink(Link& link, bool side_a, bgp::Asn remote_asn,
+                               bgp::Policy import_policy,
+                               bgp::Policy export_policy) {
+  const bgp::PeerId id = static_cast<bgp::PeerId>(peers_.size());
+  bgp::SessionConfig fsm_cfg;
+  fsm_cfg.local_asn = config_.asn;
+  fsm_cfg.router_id = config_.router_id;
+  fsm_cfg.hold_time_s = config_.hold_time_s;
+  peers_.emplace_back(fsm_cfg, config_.packer, rng_.Next(),
+                      std::move(import_policy), std::move(export_policy));
+  peers_[id].link = &link;
+  peers_[id].remote_asn = remote_asn;
+  if (side_a) {
+    link.AttachA(this, id);
+  } else {
+    link.AttachB(this, id);
+  }
+  // Router ids must be registered before routes can arrive. Remote router id
+  // is modeled as the remote interface; we only need a deterministic
+  // tie-break value, so derive it from the remote ASN and peer id.
+  rib_.AddPeer(id, IPv4Address((remote_asn << 8) | (id & 0xFF)));
+  return id;
+}
+
+void Router::Originate(const bgp::Route& route) {
+  if (crashed_) return;
+  // Border dampening (RFC 2439 deployed at the provider edge): flapping
+  // customer routes accumulate penalty and, once suppressed, are installed
+  // locally but NOT advertised until the reuse timer releases them.
+  bool suppressed = false;
+  if (config_.enable_dampening) {
+    auto prev = local_routes_.find(route.prefix);
+    const bool attr_change =
+        prev != local_routes_.end() &&
+        !prev->second.attributes.ForwardingEquivalent(route.attributes);
+    const bool was_withdrawn = prev == local_routes_.end();
+    const auto verdict = dampener_.OnAnnounce(
+        {route.prefix, bgp::kLocalPeer}, sched_.Now(),
+        attr_change && !was_withdrawn);
+    suppressed = verdict != bgp::DampVerdict::kPass;
+  }
+  local_routes_[route.prefix] = route;
+  bgp::Route local = route;
+  // Local routes win the decision against any learned path.
+  local.attributes.local_pref = 1000;
+  const bgp::RibChange change = rib_.Announce(bgp::kLocalPeer, local);
+  if (suppressed) {
+    ++stats_.damped_updates;
+    // Re-advertise when the dampener releases the route — the "legitimate
+    // announcements delayed" cost the paper warns about.
+    const TimePoint reuse =
+        dampener_.ReuseTime({route.prefix, bgp::kLocalPeer}, sched_.Now());
+    const Prefix prefix = route.prefix;
+    sched_.At(reuse + Duration::Seconds(1), [this, prefix] {
+      if (crashed_ || !local_routes_.contains(prefix)) return;
+      if (dampener_.IsSuppressed({prefix, bgp::kLocalPeer}, sched_.Now())) {
+        return;  // re-flapped in the meantime; a later release is scheduled
+      }
+      PropagateChange(prefix);
+    });
+    return;
+  }
+  if (change.best_changed) PropagateChange(route.prefix);
+}
+
+void Router::WithdrawLocal(const Prefix& prefix) {
+  if (crashed_) return;
+  if (config_.enable_dampening) {
+    dampener_.OnWithdraw({prefix, bgp::kLocalPeer}, sched_.Now());
+  }
+  local_routes_.erase(prefix);
+  const bgp::RibChange change = rib_.Withdraw(bgp::kLocalPeer, prefix);
+  if (config_.stateless_bgp && rib_.Best(prefix) == nullptr) {
+    BroadcastWithdraw(prefix);
+  }
+  if (change.best_changed) PropagateChange(prefix);
+}
+
+bool Router::HasLocalRoute(const Prefix& prefix) const {
+  return local_routes_.contains(prefix);
+}
+
+void Router::SprayWithdrawals(std::span<const Prefix> prefixes) {
+  if (crashed_ || !config_.stateless_bgp) return;
+  for (const Prefix& p : prefixes) BroadcastWithdraw(p);
+}
+
+void Router::InternalReset(double dirty_fraction) {
+  if (crashed_) return;
+  if (!config_.stateless_bgp) {
+    // A stateful implementation coalesces the withdraw/re-learn pair inside
+    // one flush window: nothing reaches any peer.
+    return;
+  }
+  // The local routes behind the reset adjacency are marked dirty by the
+  // IGP/iBGP reconvergence. The stateless flush re-sends current state for
+  // exported prefixes (AADup at receivers) and emits withdrawals for
+  // prefixes export policy never announced (WWDup).
+  for (const auto& [prefix, route] : local_routes_) {
+    if (dirty_fraction < 1.0 && rng_.Uniform() >= dirty_fraction) continue;
+    PropagateChange(prefix);
+  }
+}
+
+bgp::SessionState Router::PeerSessionState(bgp::PeerId peer) const {
+  return peers_[peer].fsm.state();
+}
+
+bgp::Asn Router::PeerAsn(bgp::PeerId peer) const {
+  return peers_[peer].remote_asn;
+}
+
+Duration Router::Backlog() const {
+  const TimePoint now = sched_.Now();
+  return busy_until_ > now ? busy_until_ - now : Duration();
+}
+
+// ---------------------------------------------------------------- sessions
+
+void Router::OnTransportUp(std::uint32_t peer) {
+  if (crashed_) return;
+  Peer& p = peers_[peer];
+  bgp::SessionFsm::Actions actions;
+  p.fsm.Start(sched_.Now(), actions);
+  p.fsm.OnTransportUp(sched_.Now(), actions);
+  HandleFsmActions(peer, actions);
+  ScheduleFsmTimer(peer);
+}
+
+void Router::OnTransportDown(std::uint32_t peer) {
+  Peer& p = peers_[peer];
+  bgp::SessionFsm::Actions actions;
+  p.fsm.OnTransportDown(sched_.Now(), actions);
+  HandleFsmActions(peer, actions);
+  ScheduleFsmTimer(peer);
+}
+
+void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) {
+  if (crashed_) return;
+  Peer& p = peers_[peer];
+  ++stats_.messages_rx;
+
+  auto msg = bgp::Decode(bytes);
+  if (!msg) {
+    ++stats_.decode_failures;
+    return;
+  }
+
+  // Charge the CPU for receive processing.
+  Duration cost = config_.cost_per_message;
+  if (const auto* u = std::get_if<bgp::UpdateMessage>(&*msg)) {
+    cost += config_.cost_per_prefix * static_cast<double>(u->withdrawn.size() +
+                                                          u->nlri.size());
+  }
+  ChargeCpu(cost);
+  if (crashed_) return;  // the crash may have been triggered by this load
+
+  const bool was_established =
+      p.fsm.state() == bgp::SessionState::kEstablished;
+  bgp::SessionFsm::Actions actions;
+  p.fsm.OnMessage(sched_.Now(), *msg, actions);
+  HandleFsmActions(peer, actions);
+  ScheduleFsmTimer(peer);
+
+  if (was_established && p.established) {
+    if (const auto* u = std::get_if<bgp::UpdateMessage>(&*msg)) {
+      ++stats_.updates_rx;
+      if (tap_) tap_(sched_.Now(), peer, p.remote_asn, *u);
+      ProcessUpdate(peer, *u);
+    }
+  }
+}
+
+void Router::HandleFsmActions(bgp::PeerId id,
+                              const bgp::SessionFsm::Actions& acts) {
+  Peer& p = peers_[id];
+  for (const auto& act : acts) {
+    switch (act.type) {
+      case bgp::SessionFsm::ActionType::kSendOpen: {
+        bgp::OpenMessage open;
+        open.asn = config_.asn;
+        open.hold_time_s = config_.hold_time_s;
+        open.bgp_identifier = config_.router_id;
+        SendMessage(id, open, /*priority=*/true);
+        break;
+      }
+      case bgp::SessionFsm::ActionType::kSendKeepAlive:
+        SendMessage(id, bgp::KeepAliveMessage{},
+                    /*priority=*/config_.bgp_priority_queuing);
+        break;
+      case bgp::SessionFsm::ActionType::kSendNotification:
+        SendMessage(id, act.notification, /*priority=*/true);
+        break;
+      case bgp::SessionFsm::ActionType::kSessionUp:
+        p.established = true;
+        ++stats_.session_ups;
+        OnSessionUp(id);
+        break;
+      case bgp::SessionFsm::ActionType::kSessionDown:
+        p.established = false;
+        ++stats_.session_downs;
+        OnSessionDown(id);
+        break;
+    }
+  }
+}
+
+void Router::ScheduleFsmTimer(bgp::PeerId id) {
+  Peer& p = peers_[id];
+  const TimePoint deadline = p.fsm.NextDeadline();
+  if (deadline == TimePoint::Max()) return;
+  const std::uint64_t gen = ++p.timer_generation;
+  sched_.At(deadline, [this, id, gen] {
+    Peer& peer = peers_[id];
+    if (peer.timer_generation != gen || crashed_) return;
+    bgp::SessionFsm::Actions actions;
+    peer.fsm.OnTimer(sched_.Now(), actions);
+    HandleFsmActions(id, actions);
+    // Connect retry: if the transport (link) is still there, re-initiate
+    // the handshake — the FSM only tracks deadlines, the "TCP connect" is
+    // ours to perform.
+    if (peer.fsm.state() == bgp::SessionState::kConnect &&
+        peer.link != nullptr && peer.link->up()) {
+      OnTransportUp(id);
+    } else {
+      ScheduleFsmTimer(id);
+    }
+  });
+}
+
+void Router::OnSessionUp(bgp::PeerId id) {
+  FullDump(id);
+}
+
+void Router::OnSessionDown(bgp::PeerId id) {
+  Peer& p = peers_[id];
+  p.adj_rib_out.clear();
+  // Everything learned from this peer is gone: a genuine topology change.
+  auto changes = rib_.ClearPeer(id);
+  for (const auto& [prefix, change] : changes) {
+    if (config_.stateless_bgp && rib_.Best(prefix) == nullptr) {
+      BroadcastWithdraw(prefix);
+    }
+    PropagateChange(prefix);
+  }
+}
+
+void Router::SendMessage(bgp::PeerId id, const bgp::Message& msg,
+                         bool priority) {
+  Peer& p = peers_[id];
+  if (p.link == nullptr || !p.link->up()) return;
+  ++stats_.messages_tx;
+  if (const auto* u = std::get_if<bgp::UpdateMessage>(&msg)) {
+    ++stats_.updates_tx;
+    stats_.prefixes_announced_tx += u->nlri.size();
+    stats_.prefixes_withdrawn_tx += u->withdrawn.size();
+  }
+  auto bytes = bgp::Encode(msg);
+  const TimePoint now = sched_.Now();
+  // Non-priority traffic queues behind the CPU backlog; this is the delay
+  // that starves KEEPALIVEs on busy route-caching routers.
+  const TimePoint when = priority ? now : std::max(now, busy_until_);
+  if (when <= now) {
+    p.link->Send(this, std::move(bytes));
+  } else {
+    Link* link = p.link;
+    sched_.At(when, [this, link, data = std::move(bytes)]() mutable {
+      link->Send(this, std::move(data));
+    });
+  }
+}
+
+// ------------------------------------------------------------ update path
+
+void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update) {
+  Peer& p = peers_[from];
+  std::vector<Prefix> changed;
+
+  for (const Prefix& w : update.withdrawn) {
+    ++stats_.prefixes_withdrawn_rx;
+    if (config_.enable_dampening) {
+      dampener_.OnWithdraw({w, from}, sched_.Now());
+    }
+    const bgp::RibChange change = rib_.Withdraw(from, w);
+    if (config_.stateless_bgp && rib_.Best(w) == nullptr) {
+      // Any withdrawal — even for a route we never carried — is sprayed at
+      // every peer: the implementation keeps no record of what it told whom.
+      BroadcastWithdraw(w);
+    }
+    if (change.best_changed) changed.push_back(w);
+  }
+
+  for (const Prefix& nlri : update.nlri) {
+    ++stats_.prefixes_announced_rx;
+    bgp::Route route{nlri, update.attributes};
+    if (route.attributes.as_path.Contains(config_.asn)) {
+      ++stats_.loops_rejected;
+      continue;
+    }
+    auto imported = p.import_policy.Apply(route);
+    if (!imported) {
+      // Denied by policy: make sure no earlier route from this peer lingers.
+      const bgp::RibChange change = rib_.Withdraw(from, nlri);
+      if (change.best_changed) changed.push_back(nlri);
+      continue;
+    }
+    if (config_.enable_dampening) {
+      const auto* existing = rib_.Best(nlri);
+      const bool attr_change =
+          existing != nullptr && existing->peer == from &&
+          !existing->attributes.ForwardingEquivalent(imported->attributes);
+      const auto verdict =
+          dampener_.OnAnnounce({nlri, from}, sched_.Now(), attr_change);
+      if (verdict != bgp::DampVerdict::kPass) {
+        ++stats_.damped_updates;
+        // Suppressed: the route is held down and not installed.
+        const bgp::RibChange change = rib_.Withdraw(from, nlri);
+        if (change.best_changed) changed.push_back(nlri);
+        continue;
+      }
+    }
+    const bgp::RibChange change = rib_.Announce(from, *imported);
+    if (change.best_changed) changed.push_back(nlri);
+  }
+
+  for (const Prefix& prefix : changed) PropagateChange(prefix);
+}
+
+void Router::PropagateChange(const Prefix& prefix) {
+  if (config_.no_reexport) return;
+  for (bgp::PeerId id = 0; id < peers_.size(); ++id) {
+    Peer& p = peers_[id];
+    if (!p.established) continue;
+    auto exported = ExportRoute(p, prefix);
+    if (exported) {
+      EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported)});
+    } else {
+      EnqueueOp(id, bgp::RouteOp{prefix, std::nullopt});
+    }
+  }
+}
+
+void Router::BroadcastWithdraw(const Prefix& prefix) {
+  for (bgp::PeerId id = 0; id < peers_.size(); ++id) {
+    if (!peers_[id].established) continue;
+    EnqueueOp(id, bgp::RouteOp{prefix, std::nullopt});
+  }
+}
+
+std::optional<bgp::PathAttributes> Router::ExportRoute(
+    const Peer& peer, const Prefix& prefix) const {
+  const bgp::Candidate* best = rib_.Best(prefix);
+  if (best == nullptr) return std::nullopt;
+  // Split horizon: never hand a route back to the peer it came from.
+  if (best->peer != bgp::kLocalPeer &&
+      &peer == &peers_[best->peer]) {
+    return std::nullopt;
+  }
+  // Sender-side loop avoidance: the receiver would reject it anyway.
+  if (best->attributes.as_path.Contains(peer.remote_asn)) return std::nullopt;
+
+  bgp::Route route{prefix, best->attributes};
+  auto out = peer.export_policy.Apply(route);
+  if (!out) return std::nullopt;
+  if (!config_.transparent) {
+    out->attributes.as_path.Prepend(config_.asn);
+    out->attributes.next_hop = config_.interface_addr;
+  }
+  // LOCAL_PREF is iBGP-only; all peerings here are external.
+  out->attributes.local_pref.reset();
+  return std::move(out->attributes);
+}
+
+void Router::EnqueueOp(bgp::PeerId id, bgp::RouteOp op) {
+  Peer& p = peers_[id];
+  p.queue.Enqueue(sched_.Now(), std::move(op));
+  if (!p.flush_scheduled) {
+    p.flush_scheduled = true;
+    sched_.At(p.queue.NextFlush(), [this, id] { FlushPeer(id); });
+  }
+}
+
+void Router::FlushPeer(bgp::PeerId id) {
+  Peer& p = peers_[id];
+  p.flush_scheduled = false;
+  if (crashed_) return;
+  std::vector<bgp::RouteOp> ops = p.queue.Flush(sched_.Now());
+  if (!p.established || ops.empty()) return;
+
+  std::vector<bgp::RouteOp> final_ops;
+  final_ops.reserve(ops.size());
+  for (auto& op : ops) {
+    if (config_.stateless_bgp) {
+      // No Adj-RIB-Out: everything goes out, duplicates included. A
+      // within-window withdraw..announce pair is transmitted as W then A
+      // (the implementation sends withdrawals for every withdrawn prefix,
+      // then the current state).
+      if (op.withdraw_preceded) {
+        final_ops.push_back(bgp::RouteOp{op.prefix, std::nullopt});
+      }
+      final_ops.push_back(std::move(op));
+      continue;
+    }
+    auto it = p.adj_rib_out.find(op.prefix);
+    if (op.IsWithdraw()) {
+      if (it == p.adj_rib_out.end()) continue;  // never told them: suppress
+      p.adj_rib_out.erase(it);
+      final_ops.push_back(std::move(op));
+    } else {
+      if (it != p.adj_rib_out.end() && it->second == *op.attributes) {
+        continue;  // peer already has exactly this route: suppress duplicate
+      }
+      p.adj_rib_out[op.prefix] = *op.attributes;
+      final_ops.push_back(std::move(op));
+    }
+  }
+  if (final_ops.empty()) return;
+
+  for (auto& msg : bgp::PackUpdates(final_ops)) {
+    // Marshaling cost per outbound prefix.
+    ChargeCpu(config_.cost_per_prefix *
+              (0.25 * static_cast<double>(msg.withdrawn.size() + msg.nlri.size())));
+    if (crashed_) return;
+    SendMessage(id, msg);
+  }
+}
+
+void Router::FullDump(bgp::PeerId id) {
+  if (config_.no_reexport) return;
+  // A fresh session receives the entire Loc-RIB ("large state dump
+  // transmissions" when a flapping session re-establishes).
+  std::vector<Prefix> prefixes;
+  prefixes.reserve(rib_.NumPrefixes());
+  rib_.VisitBest([&prefixes](const Prefix& p, const bgp::Candidate&) {
+    prefixes.push_back(p);
+  });
+  Peer& p = peers_[id];
+  for (const Prefix& prefix : prefixes) {
+    auto exported = ExportRoute(p, prefix);
+    if (exported) EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported)});
+  }
+}
+
+// -------------------------------------------------------------- CPU model
+
+TimePoint Router::ChargeCpu(Duration cost) {
+  const TimePoint now = sched_.Now();
+  if (busy_until_ < now) busy_until_ = now;
+  busy_until_ += cost;
+  if (config_.crash_backlog > Duration() &&
+      busy_until_ - now > config_.crash_backlog) {
+    Crash();
+  }
+  return busy_until_;
+}
+
+void Router::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  // The router is gone: no NOTIFICATIONs, no teardown courtesy. Peers will
+  // discover via their hold timers. All protocol state is lost.
+  for (auto& p : peers_) {
+    bgp::SessionFsm::Actions ignored;
+    p.fsm.Stop(sched_.Now(), ignored);  // discard actions: a dead box is mute
+    p.established = false;
+    p.adj_rib_out.clear();
+    ++p.timer_generation;  // cancel outstanding timers
+  }
+  // Drop every learned route; local (customer) routes survive on NVRAM.
+  std::vector<bgp::PeerId> ids;
+  for (bgp::PeerId id = 0; id < peers_.size(); ++id) ids.push_back(id);
+  for (bgp::PeerId id : ids) rib_.ClearPeer(id);
+  sched_.After(config_.reboot_time, [this] { Reboot(); });
+}
+
+void Router::Reboot() {
+  crashed_ = false;
+  busy_until_ = sched_.Now();
+  for (bgp::PeerId id = 0; id < peers_.size(); ++id) {
+    Peer& p = peers_[id];
+    if (p.link != nullptr && p.link->up()) {
+      // Re-initiate the BGP handshake on every surviving transport.
+      OnTransportUp(id);
+    }
+  }
+}
+
+}  // namespace iri::sim

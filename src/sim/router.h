@@ -1,0 +1,220 @@
+// A simulated BGP border router (or exchange-point route server).
+//
+// Composes the protocol-pure pieces from src/bgp — session FSM, RIB,
+// decision process, policy engine, outbound update packer, optional flap
+// dampener — under a CPU model, and speaks real wire-format BGP over Links.
+//
+// Two implementation personalities reproduce the paper's §4.2 findings:
+//
+//  * stateful (default): maintains an Adj-RIB-Out per peer and suppresses
+//    updates that would not change what the peer already heard — the
+//    "updated, stateful software" vendors shipped after the paper's results
+//    were presented.
+//  * stateless_bgp: keeps no Adj-RIB-Out. Announcements always go out on
+//    flush, and every prefix that becomes unreachable (or is named in any
+//    inbound withdrawal) triggers a withdrawal broadcast to ALL peers —
+//    bypassing export policy, because the implementation tracks only its own
+//    table, not what each peer was told. A provider that aggregates its
+//    customers therefore still sprays component-prefix withdrawals at every
+//    flap: the paper's WWDup engine ("withdrawals ... by autonomous systems
+//    that never previously announced reachability for the withdrawn
+//    prefixes").
+//
+// The CPU model charges per-update processing cost to a busy-until horizon;
+// outbound messages (including KEEPALIVEs, unless bgp_priority_queuing is
+// on) are delayed behind the backlog. Sustained update load therefore
+// starves keepalives, peers' hold timers fire, sessions drop, full-table
+// re-dumps add more load: the route flap storm, §3.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/dampening.h"
+#include "bgp/message.h"
+#include "bgp/policy.h"
+#include "bgp/rib.h"
+#include "bgp/session.h"
+#include "bgp/update_packer.h"
+#include "sim/link.h"
+#include "sim/scheduler.h"
+
+namespace iri::sim {
+
+struct RouterConfig {
+  std::string name;
+  bgp::Asn asn = 0;
+  IPv4Address router_id;
+  IPv4Address interface_addr;  // NEXT_HOP written on exported routes
+
+  bool stateless_bgp = false;  // the pathological vendor implementation
+  bool transparent = false;    // route-server mode: no prepend, no next-hop
+                               // rewrite (Routing Arbiter semantics)
+  // Monitor-only collector: accept and classify inbound routes but never
+  // re-export them. Measurement-equivalent to a full route server (provider
+  // export policies stop RS-learned routes from ever returning to the RS)
+  // while cutting simulation cost by the peer fan-out factor.
+  bool no_reexport = false;
+
+  bgp::PackerConfig packer;    // flush-timer discipline (30 s unjittered ...)
+  std::uint16_t hold_time_s = 90;
+
+  bool enable_dampening = false;
+  bgp::DampeningParams dampening;
+
+  // CPU model.
+  Duration cost_per_prefix = Duration::Micros(150);   // per prefix processed
+  Duration cost_per_message = Duration::Micros(60);   // fixed decode overhead
+  bool bgp_priority_queuing = false;  // vendor fix: keepalives bypass backlog
+  // Backlog beyond which the router crashes outright (0 disables). The paper
+  // measured ~300 updates/s crashing "a widely deployed, high-end" router.
+  Duration crash_backlog = Duration();
+  Duration reboot_time = Duration::Seconds(90);
+};
+
+class Router : public LinkEndpoint {
+ public:
+  struct Stats {
+    std::uint64_t messages_rx = 0;
+    std::uint64_t messages_tx = 0;
+    std::uint64_t updates_rx = 0;
+    std::uint64_t updates_tx = 0;
+    std::uint64_t prefixes_announced_rx = 0;
+    std::uint64_t prefixes_withdrawn_rx = 0;
+    std::uint64_t prefixes_announced_tx = 0;
+    std::uint64_t prefixes_withdrawn_tx = 0;
+    std::uint64_t loops_rejected = 0;
+    std::uint64_t decode_failures = 0;
+    std::uint64_t session_ups = 0;
+    std::uint64_t session_downs = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t damped_updates = 0;
+  };
+
+  // Tap invoked for every UPDATE received on an established session, before
+  // policy — this is the Routing Arbiter measurement point.
+  using UpdateTap = std::function<void(TimePoint now, bgp::PeerId peer,
+                                       bgp::Asn peer_asn,
+                                       const bgp::UpdateMessage& update)>;
+
+  Router(Scheduler& sched, RouterConfig config, std::uint64_t seed);
+
+  // Registers this router on one side of `link`. Returns the local peer id.
+  // Policies default to accept-all.
+  bgp::PeerId AttachLink(Link& link, bool side_a, bgp::Asn remote_asn,
+                         bgp::Policy import_policy = bgp::Policy::AcceptAll(),
+                         bgp::Policy export_policy = bgp::Policy::AcceptAll());
+
+  // Originates a locally-sourced route (customer network / IGP injection).
+  // The attribute template's as_path may carry downstream customer ASes;
+  // this router's own AS is prepended at export time.
+  void Originate(const bgp::Route& route);
+
+  // Withdraws a locally-sourced route.
+  void WithdrawLocal(const Prefix& prefix);
+
+  // Models an IGP/iBGP adjacency reset inside this router's AS: the local
+  // routes behind the reset adjacency (a random `dirty_fraction` of them)
+  // are momentarily withdrawn and immediately re-learned. On a stateful
+  // router this is invisible to peers (the Adj-RIB-Out coalesces it away);
+  // on a stateless router it re-sends the exported ones (AADup) and sprays
+  // withdrawals for the aggregated ones that were never announced (WWDup).
+  // This is the paper's §4.2 "misconfigured interaction of IGP/BGP
+  // protocols" mechanism.
+  void InternalReset(double dirty_fraction = 1.0);
+
+  // Models the transient loss (and immediate relearning) of externally
+  // learned routes inside this AS — e.g. a flapping private transit
+  // adjacency behind a stateless border router. The paper's ISP-I
+  // transmitted 2.4M withdrawals for 14,112 prefixes it had announced 259
+  // of; this is that mechanism. Stateful routers coalesce it to silence.
+  void SprayWithdrawals(std::span<const Prefix> prefixes);
+
+  bool HasLocalRoute(const Prefix& prefix) const;
+
+  void SetUpdateTap(UpdateTap tap) { tap_ = std::move(tap); }
+
+  const bgp::Rib& rib() const { return rib_; }
+  const Stats& stats() const { return stats_; }
+  const RouterConfig& config() const { return config_; }
+  bgp::SessionState PeerSessionState(bgp::PeerId peer) const;
+  bgp::Asn PeerAsn(bgp::PeerId peer) const;
+  std::size_t num_peers() const { return peers_.size(); }
+  bool crashed() const { return crashed_; }
+
+  // Current CPU backlog (how far busy-until is ahead of now).
+  Duration Backlog() const;
+
+  // LinkEndpoint interface (driven by Link).
+  void OnTransportUp(std::uint32_t peer) override;
+  void OnTransportDown(std::uint32_t peer) override;
+  void OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) override;
+
+ private:
+  struct Peer {
+    Link* link = nullptr;
+    bgp::Asn remote_asn = 0;
+    bgp::SessionFsm fsm;
+    bgp::OutboundQueue queue;
+    bgp::Policy import_policy;
+    bgp::Policy export_policy;
+    std::unordered_map<Prefix, bgp::PathAttributes> adj_rib_out;
+    bool established = false;
+    bool flush_scheduled = false;
+    std::uint64_t timer_generation = 0;
+
+    Peer(bgp::SessionConfig fsm_cfg, bgp::PackerConfig packer_cfg,
+         std::uint64_t seed, bgp::Policy imp, bgp::Policy exp)
+        : fsm(fsm_cfg),
+          queue(packer_cfg, seed),
+          import_policy(std::move(imp)),
+          export_policy(std::move(exp)) {}
+  };
+
+  // --- session plumbing ---
+  void HandleFsmActions(bgp::PeerId id, const bgp::SessionFsm::Actions& acts);
+  void ScheduleFsmTimer(bgp::PeerId id);
+  void OnSessionUp(bgp::PeerId id);
+  void OnSessionDown(bgp::PeerId id);
+  void SendMessage(bgp::PeerId id, const bgp::Message& msg,
+                   bool priority = false);
+
+  // --- update processing ---
+  void ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update);
+  // Re-exports the new state of `prefix` to every eligible peer.
+  void PropagateChange(const Prefix& prefix);
+  // Stateless pathology: spray a withdrawal at every established peer,
+  // bypassing export policy and Adj-RIB-Out.
+  void BroadcastWithdraw(const Prefix& prefix);
+  // Computes the route to announce to `peer` for `prefix`, or nullopt when
+  // it must not be announced (split horizon, loop, policy deny).
+  std::optional<bgp::PathAttributes> ExportRoute(const Peer& peer,
+                                                 const Prefix& prefix) const;
+  void EnqueueOp(bgp::PeerId id, bgp::RouteOp op);
+  void FlushPeer(bgp::PeerId id);
+  void FullDump(bgp::PeerId id);
+
+  // --- CPU model ---
+  // Charges `cost` and returns the time at which the work completes.
+  TimePoint ChargeCpu(Duration cost);
+  void Crash();
+  void Reboot();
+
+  Scheduler& sched_;
+  RouterConfig config_;
+  Rng rng_;
+  bgp::Rib rib_;
+  bgp::Dampener dampener_;
+  std::vector<Peer> peers_;
+  std::unordered_map<Prefix, bgp::Route> local_routes_;
+  TimePoint busy_until_;
+  bool crashed_ = false;
+  Stats stats_;
+  UpdateTap tap_;
+};
+
+}  // namespace iri::sim

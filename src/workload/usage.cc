@@ -1,0 +1,44 @@
+#include "workload/usage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iri::workload {
+
+double UsageModel::Level(TimePoint t) const {
+  const int day = static_cast<int>(t.nanos() / Duration::Days(1).nanos());
+  const double hour = HourOfDay(t);
+
+  // Interpolate between adjacent hour weights for a smooth curve.
+  const int h0 = static_cast<int>(hour) % 24;
+  const int h1 = (h0 + 1) % 24;
+  const double frac = hour - std::floor(hour);
+  double level = config_.hour_weight[static_cast<std::size_t>(h0)] * (1 - frac) +
+                 config_.hour_weight[static_cast<std::size_t>(h1)] * frac;
+
+  double day_factor = config_.weekday_factor[static_cast<std::size_t>(DayOfWeek(t))];
+  if (std::find(config_.holiday_days.begin(), config_.holiday_days.end(),
+                day) != config_.holiday_days.end()) {
+    day_factor = std::min(day_factor, config_.holiday_factor);
+  }
+  level *= day_factor;
+
+  if (day >= config_.summer_start_day && day <= config_.summer_end_day &&
+      hour >= 17.0) {
+    level *= config_.summer_evening_factor;
+  }
+
+  level *= 1.0 + config_.trend_per_day * day;
+  return level;
+}
+
+double UsageModel::MaxLevel(Duration horizon) const {
+  const double max_hour =
+      *std::max_element(config_.hour_weight.begin(), config_.hour_weight.end());
+  const double max_day = *std::max_element(config_.weekday_factor.begin(),
+                                           config_.weekday_factor.end());
+  const double days = horizon.ToHours() / 24.0;
+  return max_hour * max_day * (1.0 + config_.trend_per_day * days);
+}
+
+}  // namespace iri::workload

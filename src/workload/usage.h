@@ -1,0 +1,76 @@
+// The network-usage curve that modulates legitimate instability.
+//
+// One of the paper's central findings (§5.1, Figure 5) is that instability
+// "exhibit[s] the same significant weekly, daily and holiday cycles as
+// network usage and congestion": quiet 00:00–06:00, densest noon–midnight,
+// weekly dips on weekends, a linear growth trend over the seven months, and
+// a sparser 17:00–24:00 band in June–August ("summer vacation at most of
+// the educational hosts"). This model is that curve; event processes sample
+// it multiplicatively via Poisson thinning.
+//
+// Scenario day 0 is a SATURDAY (so Figure 4's Saturday→Friday week lands on
+// day boundaries).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "netbase/time.h"
+
+namespace iri::workload {
+
+struct UsageConfig {
+  // Relative load per local hour (index 0 = midnight). Shape follows the
+  // paper's Figure 3 description: trough before 06:00, rise through the
+  // morning, densest noon-to-midnight.
+  std::array<double, 24> hour_weight = {
+      0.32, 0.26, 0.22, 0.20, 0.22, 0.28,   // 00-05: overnight trough
+      0.38, 0.52, 0.72, 0.88, 1.00, 1.02,   // 06-11: business ramp
+      1.05, 1.08, 1.10, 1.10, 1.06, 1.02,   // 12-17: afternoon plateau
+      1.00, 0.98, 0.92, 0.80, 0.62, 0.45};  // 18-23: evening tail
+
+  // Day-of-week factors, index 0 = Saturday.
+  std::array<double, 7> weekday_factor = {0.55, 0.45, 1.0, 1.0,
+                                          1.0,  1.0,  1.0};
+
+  // Linear growth: level multiplied by (1 + trend_per_day * day). The
+  // paper: "routing instability increased linearly during the seven month
+  // period" (their detrend step assumes exactly this).
+  double trend_per_day = 0.004;
+
+  // Summer-evening damping (educational hosts on vacation).
+  int summer_start_day = 75;   // ~mid June for an April-like day 0
+  int summer_end_day = 140;    // ~late August
+  double summer_evening_factor = 0.72;
+
+  // Holidays behave like Sundays.
+  std::vector<int> holiday_days;
+  double holiday_factor = 0.45;
+};
+
+class UsageModel {
+ public:
+  explicit UsageModel(UsageConfig config) : config_(std::move(config)) {}
+
+  // Multiplicative rate level at simulated time `t` (1.0-ish at a weekday
+  // business-hour baseline, before trend).
+  double Level(TimePoint t) const;
+
+  // Upper bound on Level over [0, horizon] — the thinning envelope.
+  double MaxLevel(Duration horizon) const;
+
+  static int DayOfWeek(TimePoint t) {  // 0 = Saturday
+    return static_cast<int>((t.nanos() / Duration::Days(1).nanos()) % 7);
+  }
+  static double HourOfDay(TimePoint t) {
+    const std::int64_t ns_in_day = t.nanos() % Duration::Days(1).nanos();
+    return static_cast<double>(ns_in_day) / Duration::Hours(1).nanos();
+  }
+
+  const UsageConfig& config() const { return config_; }
+
+ private:
+  UsageConfig config_;
+};
+
+}  // namespace iri::workload

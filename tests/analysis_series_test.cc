@@ -1,0 +1,101 @@
+#include "analysis/series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace iri::analysis {
+namespace {
+
+TEST(Series, MeanAndVariance) {
+  const Series x = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(x), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(x), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(Series, FitLineRecoversExactLine) {
+  Series x;
+  for (int t = 0; t < 50; ++t) x.push_back(3.5 + 0.25 * t);
+  const LinearFit fit = FitLine(x);
+  EXPECT_NEAR(fit.intercept, 3.5, 1e-9);
+  EXPECT_NEAR(fit.slope, 0.25, 1e-9);
+}
+
+TEST(Series, FitLineDegenerateCases) {
+  EXPECT_DOUBLE_EQ(FitLine({}).slope, 0.0);
+  const LinearFit one = FitLine({7.0});
+  EXPECT_DOUBLE_EQ(one.intercept, 7.0);
+  EXPECT_DOUBLE_EQ(one.slope, 0.0);
+}
+
+TEST(Series, DetrendRemovesLinearComponent) {
+  Series x;
+  for (int t = 0; t < 100; ++t) {
+    x.push_back(10.0 + 0.5 * t + std::sin(0.3 * t));
+  }
+  Detrend(x);
+  EXPECT_NEAR(Mean(x), 0.0, 1e-9);
+  const LinearFit residual = FitLine(x);
+  EXPECT_NEAR(residual.slope, 0.0, 1e-9);
+}
+
+TEST(Series, LogTransformGuardsZeros) {
+  const Series x = {0.0, 1.0, std::exp(1.0)};
+  const Series logs = LogTransform(x);
+  EXPECT_DOUBLE_EQ(logs[0], std::log(0.5));  // floored, not -inf
+  EXPECT_DOUBLE_EQ(logs[1], 0.0);
+  EXPECT_NEAR(logs[2], 1.0, 1e-12);
+}
+
+TEST(Series, DetrendedLogHandlesExponentialGrowth) {
+  // x_t = 100 * e^{0.01 t}: log-linear; residual must be ~0 everywhere.
+  Series x;
+  for (int t = 0; t < 200; ++t) x.push_back(100.0 * std::exp(0.01 * t));
+  const Series r = DetrendedLog(x);
+  for (double v : r) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Series, AutocovarianceLagZeroIsVariance) {
+  Series x = {4, 8, 15, 16, 23, 42};
+  const Series c = Autocovariance(x, 3);
+  EXPECT_NEAR(c[0], Variance(x), 1e-9);
+}
+
+TEST(Series, AutocorrelationOfPureCosine) {
+  // r_k of cos(w t) ~ cos(w k) for long series.
+  const double w = 2.0 * std::numbers::pi / 24.0;  // 24-sample period
+  Series x;
+  for (int t = 0; t < 24 * 50; ++t) x.push_back(std::cos(w * t));
+  const Series r = Autocorrelation(x, 48);
+  EXPECT_NEAR(r[0], 1.0, 1e-9);
+  EXPECT_NEAR(r[24], 1.0, 0.05);   // full period: back in phase
+  EXPECT_NEAR(r[12], -1.0, 0.05);  // half period: anti-phase
+}
+
+TEST(Series, AutocorrelationOfWhiteNoiseNearZero) {
+  Series x;
+  std::uint64_t state = 12345;
+  for (int t = 0; t < 5000; ++t) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    x.push_back(static_cast<double>(state >> 11) / (1ULL << 53));
+  }
+  const Series r = Autocorrelation(x, 20);
+  for (std::size_t k = 1; k <= 20; ++k) {
+    EXPECT_LT(std::abs(r[k]), 0.08) << "lag " << k;
+  }
+}
+
+TEST(Series, AutocovarianceEmptyAndShort) {
+  const Series c = Autocovariance({}, 5);
+  ASSERT_EQ(c.size(), 6u);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 0.0);
+  // Lags past the series length stay zero.
+  const Series c2 = Autocovariance({1.0, 2.0}, 5);
+  EXPECT_DOUBLE_EQ(c2[3], 0.0);
+}
+
+}  // namespace
+}  // namespace iri::analysis

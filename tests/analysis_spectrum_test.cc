@@ -1,0 +1,174 @@
+#include "analysis/spectrum.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace iri::analysis {
+namespace {
+
+Series Sinusoid(double period, std::size_t n, double amplitude = 1.0,
+                double phase = 0.0) {
+  Series x;
+  const double w = 2.0 * std::numbers::pi / period;
+  for (std::size_t t = 0; t < n; ++t) {
+    x.push_back(amplitude * std::sin(w * static_cast<double>(t) + phase));
+  }
+  return x;
+}
+
+// Frequency of the strongest peak, cycles/sample.
+double PeakFrequency(const std::vector<SpectrumPoint>& spec) {
+  double best_f = 0, best_p = -1;
+  for (const auto& pt : spec) {
+    if (pt.power > best_p) {
+      best_p = pt.power;
+      best_f = pt.frequency;
+    }
+  }
+  return best_f;
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+}
+
+TEST(Fft, ForwardMatchesAnalyticDft) {
+  // FFT of a delta at n=0 is flat 1.
+  std::vector<std::complex<double>> x(8, 0.0);
+  x[0] = 1.0;
+  Fft(x);
+  for (const auto& c : x) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::cos(2.0 * std::numbers::pi * 5.0 * t / n);
+  }
+  Fft(x);
+  // Energy concentrated in bins 5 and n-5.
+  EXPECT_NEAR(std::abs(x[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(x[n - 5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(x[4]), 0.0, 1e-9);
+}
+
+TEST(Fft, InverseRecoversInput) {
+  std::vector<std::complex<double>> x;
+  for (int i = 0; i < 32; ++i) x.emplace_back(std::sin(i * 0.7), i * 0.1);
+  const auto original = x;
+  Fft(x);
+  Fft(x, /*inverse=*/true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Correlogram, FindsSinusoidPeriod) {
+  const Series x = Sinusoid(24.0, 24 * 40);
+  auto spec = CorrelogramSpectrum(x, 128);
+  EXPECT_NEAR(PeakFrequency(spec), 1.0 / 24.0, 0.005);
+}
+
+TEST(Correlogram, SeparatesWeeklyAndDailyPeaks) {
+  // Hourly samples with 7-day and 24-hour components — the Figure 5 setup.
+  const std::size_t n = 24 * 7 * 8;  // 8 weeks
+  Series x(n, 0.0);
+  const Series daily = Sinusoid(24.0, n, 1.0);
+  const Series weekly = Sinusoid(24.0 * 7, n, 1.4);
+  for (std::size_t i = 0; i < n; ++i) x[i] = daily[i] + weekly[i];
+
+  auto spec = CorrelogramSpectrum(x, 400);
+  auto peaks = FindPeaks(spec, 4);
+  ASSERT_GE(peaks.size(), 2u);
+  // Strongest two peaks at 1/168 and 1/24 cycles/hour, in some order.
+  const double f1 = peaks[0].frequency, f2 = peaks[1].frequency;
+  const double lo = std::min(f1, f2), hi = std::max(f1, f2);
+  EXPECT_NEAR(lo, 1.0 / 168.0, 0.004);
+  EXPECT_NEAR(hi, 1.0 / 24.0, 0.006);
+}
+
+TEST(Correlogram, WhiteNoiseIsFlatish) {
+  Series x;
+  std::uint64_t state = 777;
+  for (int t = 0; t < 4096; ++t) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    x.push_back(static_cast<double>(state >> 11) / (1ULL << 53) - 0.5);
+  }
+  auto spec = CorrelogramSpectrum(x, 64);
+  double max_p = 0, sum = 0;
+  for (const auto& pt : spec) {
+    max_p = std::max(max_p, pt.power);
+    sum += pt.power;
+  }
+  const double mean_p = sum / static_cast<double>(spec.size());
+  EXPECT_LT(max_p, 6.0 * mean_p);  // no dominant line
+}
+
+TEST(Correlogram, TooShortSeriesIsEmpty) {
+  EXPECT_TRUE(CorrelogramSpectrum({1.0, 2.0}, 8).empty());
+}
+
+TEST(Burg, FitsAr1Process) {
+  // x_t = 0.8 x_{t-1} + e_t.
+  Series x;
+  double prev = 0;
+  std::uint64_t state = 42;
+  for (int t = 0; t < 20000; ++t) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double e = static_cast<double>(state >> 11) / (1ULL << 53) - 0.5;
+    prev = 0.8 * prev + e;
+    x.push_back(prev);
+  }
+  const BurgModel model = BurgFit(x, 1);
+  ASSERT_EQ(model.coefficients.size(), 1u);
+  EXPECT_NEAR(model.coefficients[0], 0.8, 0.03);
+  EXPECT_GT(model.noise_variance, 0.0);
+}
+
+TEST(Burg, SpectrumPeaksAtSinusoidFrequency) {
+  Series x = Sinusoid(24.0, 24 * 30);
+  // Add light noise so the AR fit stays numerically sane.
+  std::uint64_t state = 5;
+  for (double& v : x) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v += 0.01 * (static_cast<double>(state >> 11) / (1ULL << 53) - 0.5);
+  }
+  auto spec = MemSpectrum(x, 24, 512);
+  EXPECT_NEAR(PeakFrequency(spec), 1.0 / 24.0, 0.005);
+}
+
+TEST(Burg, DegenerateInputs) {
+  EXPECT_TRUE(BurgFit({}, 4).coefficients.empty());
+  EXPECT_TRUE(BurgFit({1.0}, 4).coefficients.empty());
+  // Order clamped to n-1.
+  const BurgModel m = BurgFit({1.0, 2.0, 1.5}, 10);
+  EXPECT_LE(m.coefficients.size(), 2u);
+}
+
+TEST(FindPeaks, OrdersByPowerAndCaps) {
+  std::vector<SpectrumPoint> spec;
+  for (int i = 0; i < 100; ++i) {
+    double p = 1.0;
+    if (i == 20) p = 10.0;
+    if (i == 50) p = 30.0;
+    if (i == 80) p = 20.0;
+    spec.push_back({i / 200.0, p});
+  }
+  auto peaks = FindPeaks(spec, 2);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].power, 30.0);
+  EXPECT_DOUBLE_EQ(peaks[1].power, 20.0);
+}
+
+}  // namespace
+}  // namespace iri::analysis

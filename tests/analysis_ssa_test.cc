@@ -1,0 +1,145 @@
+#include "analysis/ssa.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace iri::analysis {
+namespace {
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  // diag(3, 1, 2) -> eigenvalues {3, 2, 1} sorted.
+  std::vector<double> m = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  auto eig = JacobiEigenSymmetric(m, 3);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] -> eigenvalues 3 and 1, eigenvectors (1,1)/√2, (1,-1)/√2.
+  std::vector<double> m = {2, 1, 1, 2};
+  auto eig = JacobiEigenSymmetric(m, 2);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(eig.Vector(0, 0)), std::numbers::sqrt2 / 2, 1e-9);
+  EXPECT_NEAR(std::abs(eig.Vector(1, 0)), std::numbers::sqrt2 / 2, 1e-9);
+  // Eigenvector property: A v = λ v.
+  const double v0 = eig.Vector(0, 0), v1 = eig.Vector(1, 0);
+  EXPECT_NEAR(2 * v0 + 1 * v1, 3 * v0, 1e-9);
+}
+
+TEST(JacobiEigen, EigenvectorsAreOrthonormal) {
+  // A random-ish symmetric 5x5.
+  const std::size_t n = 5;
+  std::vector<double> m(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = std::sin(static_cast<double>(i * 7 + j * 3 + 1));
+      m[i * n + j] = v;
+      m[j * n + i] = v;
+    }
+  }
+  auto eig = JacobiEigenSymmetric(m, n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      double dot = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        dot += eig.Vector(r, a) * eig.Vector(r, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8) << a << "," << b;
+    }
+  }
+}
+
+TEST(JacobiEigen, TraceIsPreserved) {
+  std::vector<double> m = {4, 1, 0, 1, 3, 2, 0, 2, 5};
+  auto eig = JacobiEigenSymmetric(m, 3);
+  EXPECT_NEAR(eig.values[0] + eig.values[1] + eig.values[2], 12.0, 1e-9);
+}
+
+Series TwoTone(std::size_t n) {
+  Series x;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double td = static_cast<double>(t);
+    x.push_back(2.0 * std::sin(2 * std::numbers::pi * td / 24.0) +
+                1.0 * std::sin(2 * std::numbers::pi * td / 168.0));
+  }
+  return x;
+}
+
+TEST(Ssa, OscillatoryPairsCaptureTones) {
+  const Series x = TwoTone(24 * 7 * 6);
+  Ssa ssa(x, /*window=*/48);
+  const auto& comps = ssa.components();
+  ASSERT_GE(comps.size(), 4u);
+  // A pure sinusoid appears as a pair of equal-variance components; the
+  // strongest pair must carry the daily (1/24) frequency.
+  EXPECT_NEAR(comps[0].dominant_frequency, 1.0 / 24.0, 0.01);
+  EXPECT_NEAR(comps[1].dominant_frequency, 1.0 / 24.0, 0.01);
+  EXPECT_NEAR(comps[0].variance_fraction, comps[1].variance_fraction, 0.05);
+  // Components are ordered by variance.
+  for (std::size_t i = 1; i < comps.size(); ++i) {
+    EXPECT_GE(comps[i - 1].eigenvalue, comps[i].eigenvalue - 1e-9);
+  }
+}
+
+TEST(Ssa, TopComponentsReconstructSignal) {
+  const Series x = TwoTone(24 * 7 * 6);
+  Ssa ssa(x, 48);
+  const Series recon = ssa.Reconstruct(6);
+  ASSERT_EQ(recon.size(), x.size());
+  // Compare in the interior (diagonal averaging is weaker at the edges).
+  double err = 0, power = 0;
+  for (std::size_t t = 100; t + 100 < x.size(); ++t) {
+    err += (recon[t] - x[t]) * (recon[t] - x[t]);
+    power += x[t] * x[t];
+  }
+  EXPECT_LT(err / power, 0.05);
+}
+
+TEST(Ssa, VarianceFractionsSumToOne) {
+  const Series x = TwoTone(24 * 7 * 4);
+  Ssa ssa(x, 36);
+  double sum = 0;
+  for (const auto& c : ssa.components()) sum += c.variance_fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Ssa, WhiteNoiseThresholdSeparatesSignalFromNoise) {
+  // Signal components of a strong sinusoid must exceed the 99% white-noise
+  // eigenvalue threshold; pure-noise eigenvalues must not (by much).
+  const std::size_t n = 24 * 7 * 4;
+  const std::size_t window = 48;
+  Series x = TwoTone(n);
+  Ssa ssa(x, window);
+  const double threshold = WhiteNoiseEigenvalueThreshold(
+      Variance(x), n, window, /*trials=*/4, /*percentile=*/0.99, /*seed=*/7);
+  ASSERT_GT(threshold, 0.0);
+  // The four oscillatory components (two tone pairs) are significant.
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(ssa.components()[k].eigenvalue, threshold) << "component " << k;
+  }
+  // The trailing components are noise-level.
+  EXPECT_LT(ssa.components().back().eigenvalue, threshold);
+}
+
+TEST(Ssa, WhiteNoiseThresholdScalesWithVariance) {
+  const double t1 =
+      WhiteNoiseEigenvalueThreshold(1.0, 1000, 24, 3, 0.99, 11);
+  const double t4 =
+      WhiteNoiseEigenvalueThreshold(4.0, 1000, 24, 3, 0.99, 11);
+  EXPECT_NEAR(t4 / t1, 4.0, 0.8);  // eigenvalues scale linearly in variance
+}
+
+TEST(Ssa, DegenerateInputsProduceNoComponents) {
+  Ssa tiny(Series{1, 2, 3}, 8);
+  EXPECT_TRUE(tiny.components().empty());
+  Ssa one(Series(100, 0.0), 1);
+  EXPECT_TRUE(one.components().empty());
+}
+
+}  // namespace
+}  // namespace iri::analysis

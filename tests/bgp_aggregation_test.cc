@@ -1,0 +1,160 @@
+#include "bgp/aggregation.h"
+
+#include <gtest/gtest.h>
+
+namespace iri::bgp {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+Route R(const std::string& prefix, std::vector<Asn> path,
+        Origin origin = Origin::kIgp) {
+  Route r;
+  r.prefix = P(prefix);
+  r.attributes.as_path = AsPath::Sequence(std::move(path));
+  r.attributes.next_hop = IPv4Address(10, 0, 0, 1);
+  r.attributes.origin = origin;
+  return r;
+}
+
+TEST(AggregateSiblings, MergesEquivalentSiblingPair) {
+  auto out = AggregateSiblings({R("10.0.0.0/25", {9}), R("10.0.0.128/25", {9})});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].prefix, P("10.0.0.0/24"));
+}
+
+TEST(AggregateSiblings, CascadesUpward) {
+  auto out = AggregateSiblings({
+      R("10.0.0.0/26", {9}), R("10.0.0.64/26", {9}),
+      R("10.0.0.128/26", {9}), R("10.0.0.192/26", {9})});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].prefix, P("10.0.0.0/24"));
+}
+
+TEST(AggregateSiblings, DoesNotMergeDifferentPaths) {
+  auto out = AggregateSiblings({R("10.0.0.0/25", {9}), R("10.0.0.128/25", {11})});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(AggregateSiblings, DoesNotMergeNonSiblings) {
+  // Adjacent but not siblings: 10.0.1.0/24 pairs with 10.0.0.0/24,
+  // 10.0.2.0/24 pairs with 10.0.3.0/24 — neither partner present.
+  auto out = AggregateSiblings({R("10.0.1.0/24", {9}), R("10.0.2.0/24", {9})});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(AggregateSiblings, MergedOriginDegradesWhenMixed) {
+  auto out = AggregateSiblings({R("10.0.0.0/25", {9}, Origin::kIgp),
+                                R("10.0.0.128/25", {9}, Origin::kEgp)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].attributes.origin, Origin::kIncomplete);
+}
+
+TEST(AggregateSiblings, MedDroppedWhenDiffering) {
+  Route a = R("10.0.0.0/25", {9});
+  Route b = R("10.0.0.128/25", {9});
+  a.attributes.med = 10;
+  b.attributes.med = 20;
+  auto out = AggregateSiblings({a, b});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].attributes.med.has_value());
+}
+
+TEST(AggregateSiblings, CommunityIntersectionSurvives) {
+  Route a = R("10.0.0.0/25", {9});
+  Route b = R("10.0.0.128/25", {9});
+  a.attributes.communities = {1, 2, 3};
+  b.attributes.communities = {2, 3, 4};
+  auto out = AggregateSiblings({a, b});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].attributes.communities, (std::vector<Community>{2, 3}));
+}
+
+TEST(AggregateSiblings, ExistingParentBlocksMerge) {
+  auto out = AggregateSiblings({R("10.0.0.0/24", {9}), R("10.0.0.0/25", {9}),
+                                R("10.0.0.128/25", {9})});
+  // The /24 is already announced: children must not merge into it (they
+  // would collide); all three survive.
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(AggregateSiblings, OutputIsAddressOrdered) {
+  auto out = AggregateSiblings({R("192.0.0.0/24", {9}), R("10.0.0.0/24", {9})});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_LT(out[0].prefix, out[1].prefix);
+}
+
+TEST(AggregateIntoBlock, EmitsSupernetWhenComponentAlive) {
+  auto agg = AggregateIntoBlock(P("204.16.0.0/16"),
+                                {R("204.16.3.0/24", {9})}, 701,
+                                IPv4Address(137, 39, 1, 1),
+                                IPv4Address(198, 32, 1, 10));
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->prefix, P("204.16.0.0/16"));
+  EXPECT_TRUE(agg->attributes.atomic_aggregate);
+  ASSERT_TRUE(agg->attributes.aggregator.has_value());
+  EXPECT_EQ(agg->attributes.aggregator->asn, 701u);
+}
+
+TEST(AggregateIntoBlock, NulloptWhenNoComponentInside) {
+  auto agg = AggregateIntoBlock(P("204.16.0.0/16"),
+                                {R("10.0.0.0/24", {9})}, 701,
+                                IPv4Address(1, 1, 1, 1),
+                                IPv4Address(2, 2, 2, 2));
+  EXPECT_FALSE(agg.has_value());
+}
+
+TEST(AggregateIntoBlock, ForeignOriginsCollectedIntoAsSet) {
+  auto agg = AggregateIntoBlock(
+      P("204.16.0.0/16"),
+      {R("204.16.1.0/24", {9}), R("204.16.2.0/24", {11}),
+       R("204.16.3.0/24", {701})},  // 701 == aggregator: not foreign
+      701, IPv4Address(1, 1, 1, 1), IPv4Address(2, 2, 2, 2));
+  ASSERT_TRUE(agg.has_value());
+  const auto& segments = agg->attributes.as_path.segments();
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].type, AsPathSegment::Type::kSequence);
+  EXPECT_EQ(segments[0].asns, (std::vector<Asn>{701}));
+  EXPECT_EQ(segments[1].type, AsPathSegment::Type::kSet);
+  EXPECT_EQ(segments[1].asns, (std::vector<Asn>{9, 11}));
+}
+
+TEST(AggregateIntoBlock, NoSetWhenAllOriginsAreAggregator) {
+  auto agg = AggregateIntoBlock(P("204.16.0.0/16"),
+                                {R("204.16.1.0/24", {701})}, 701,
+                                IPv4Address(1, 1, 1, 1),
+                                IPv4Address(2, 2, 2, 2));
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->attributes.as_path.segments().size(), 1u);
+}
+
+TEST(AggregateIntoBlock, OriginDegradesToWorstComponent) {
+  auto agg = AggregateIntoBlock(
+      P("204.16.0.0/16"),
+      {R("204.16.1.0/24", {9}, Origin::kIgp),
+       R("204.16.2.0/24", {11}, Origin::kIncomplete)},
+      701, IPv4Address(1, 1, 1, 1), IPv4Address(2, 2, 2, 2));
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->attributes.origin, Origin::kIncomplete);
+}
+
+// The instability-containment property the paper relies on: the aggregate
+// is stable across component churn as long as one component survives.
+TEST(AggregateIntoBlock, StableAcrossComponentChurn) {
+  const Prefix block = P("204.16.0.0/16");
+  std::vector<Route> components = {R("204.16.1.0/24", {701}),
+                                   R("204.16.2.0/24", {701})};
+  auto before = AggregateIntoBlock(block, components, 701,
+                                   IPv4Address(1, 1, 1, 1),
+                                   IPv4Address(2, 2, 2, 2));
+  components.erase(components.begin());  // one component flaps away
+  auto after = AggregateIntoBlock(block, components, 701,
+                                  IPv4Address(1, 1, 1, 1),
+                                  IPv4Address(2, 2, 2, 2));
+  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*before, *after);  // identical announcement: no update emitted
+}
+
+}  // namespace
+}  // namespace iri::bgp

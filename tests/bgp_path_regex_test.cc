@@ -1,0 +1,126 @@
+#include "bgp/path_regex.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/policy.h"
+
+namespace iri::bgp {
+namespace {
+
+bool Match(const std::string& pattern, std::vector<Asn> path) {
+  auto regex = PathRegex::Compile(pattern);
+  EXPECT_TRUE(regex.has_value()) << pattern;
+  return regex->Matches(path);
+}
+
+TEST(PathRegex, LiteralSubsequence) {
+  EXPECT_TRUE(Match("701 1239", {701, 1239}));
+  EXPECT_TRUE(Match("701 1239", {3561, 701, 1239, 9}));  // unanchored
+  EXPECT_FALSE(Match("701 1239", {701, 9, 1239}));
+  EXPECT_FALSE(Match("701 1239", {1239, 701}));
+}
+
+TEST(PathRegex, Anchors) {
+  EXPECT_TRUE(Match("^701", {701, 1239}));
+  EXPECT_FALSE(Match("^701", {1239, 701}));
+  EXPECT_TRUE(Match("9 $", {701, 9}));
+  EXPECT_FALSE(Match("9 $", {9, 701}));
+  EXPECT_TRUE(Match("^701 9 $", {701, 9}));
+  EXPECT_FALSE(Match("^701 9 $", {701, 1239, 9}));
+}
+
+TEST(PathRegex, EmptyPatternMatchesEverything) {
+  EXPECT_TRUE(Match("", {}));
+  EXPECT_TRUE(Match("", {701}));
+  EXPECT_TRUE(Match("^$", {}));
+  EXPECT_FALSE(Match("^$", {701}));
+}
+
+TEST(PathRegex, Wildcard) {
+  EXPECT_TRUE(Match("^701 . 9 $", {701, 1239, 9}));
+  EXPECT_FALSE(Match("^701 . 9 $", {701, 9}));
+  EXPECT_FALSE(Match("^701 . 9 $", {701, 1, 2, 9}));
+}
+
+TEST(PathRegex, StarQuantifier) {
+  // The classic prepend-tolerant filter.
+  EXPECT_TRUE(Match("^701 701* 9 $", {701, 9}));
+  EXPECT_TRUE(Match("^701 701* 9 $", {701, 701, 701, 9}));
+  EXPECT_FALSE(Match("^701 701* 9 $", {701, 1239, 9}));
+  // ".*" matches anything in between.
+  EXPECT_TRUE(Match("^701 .* 9 $", {701, 9}));
+  EXPECT_TRUE(Match("^701 .* 9 $", {701, 1, 2, 3, 9}));
+}
+
+TEST(PathRegex, PlusAndOptional) {
+  EXPECT_FALSE(Match("^701 1239+ $", {701}));
+  EXPECT_TRUE(Match("^701 1239+ $", {701, 1239}));
+  EXPECT_TRUE(Match("^701 1239+ $", {701, 1239, 1239}));
+  EXPECT_TRUE(Match("^701 1239? 9 $", {701, 9}));
+  EXPECT_TRUE(Match("^701 1239? 9 $", {701, 1239, 9}));
+  EXPECT_FALSE(Match("^701 1239? 9 $", {701, 1239, 1239, 9}));
+}
+
+TEST(PathRegex, Alternation) {
+  EXPECT_TRUE(Match("^(701|1239) 9 $", {701, 9}));
+  EXPECT_TRUE(Match("^(701|1239) 9 $", {1239, 9}));
+  EXPECT_FALSE(Match("^(701|1239) 9 $", {3561, 9}));
+  // Alternation with a quantifier: any mix of the two tiers.
+  EXPECT_TRUE(Match("^701 (1239|3561)* 9 $", {701, 1239, 3561, 1239, 9}));
+  EXPECT_FALSE(Match("^701 (1239|3561)* 9 $", {701, 1239, 42, 9}));
+}
+
+TEST(PathRegex, BacktrackingThroughGreedyStar) {
+  // ".* 9" must backtrack so the 9 can still match.
+  EXPECT_TRUE(Match("^.* 9 $", {1, 2, 3, 9}));
+  EXPECT_TRUE(Match("^.* 9 .* $", {9}));
+  EXPECT_TRUE(Match("^701* 701 $", {701, 701}));  // star must give one back
+}
+
+TEST(PathRegex, UnderscoreSeparatorIgnored) {
+  EXPECT_TRUE(Match("_701_1239_", {701, 1239}));
+}
+
+TEST(PathRegex, CompileRejectsMalformed) {
+  EXPECT_FALSE(PathRegex::Compile("701 (").has_value());
+  EXPECT_FALSE(PathRegex::Compile("()").has_value());
+  EXPECT_FALSE(PathRegex::Compile("(701|abc)").has_value());
+  EXPECT_FALSE(PathRegex::Compile("*").has_value());
+  EXPECT_FALSE(PathRegex::Compile("701 ^ 9").has_value());
+  EXPECT_FALSE(PathRegex::Compile("$ 701").has_value());
+  EXPECT_FALSE(PathRegex::Compile("99999999").has_value());  // > 16-bit ASN
+  EXPECT_FALSE(PathRegex::Compile("70x1").has_value());
+}
+
+TEST(PathRegex, MatchesAsPathIncludingSets) {
+  AsPath path = AsPath::Sequence({701});
+  AsPathSegment set_seg;
+  set_seg.type = AsPathSegment::Type::kSet;
+  set_seg.asns = {1239, 3561};
+  path.segments().push_back(set_seg);
+  auto regex = PathRegex::Compile("^701 1239 3561 $");
+  ASSERT_TRUE(regex.has_value());
+  EXPECT_TRUE(regex->Matches(path));
+}
+
+TEST(PathRegex, IntegratesWithPolicyEngine) {
+  // The paper's scenario: deny everything that transits a suspect AS pair.
+  auto policy = Policy::AcceptAll();
+  PolicyRule rule;
+  rule.name = "deny-suspect-transit";
+  rule.match.path_regex = *PathRegex::Compile("666 (1|2)+ 9");
+  rule.action.deny = true;
+  policy.Add(rule);
+
+  Route transit;
+  transit.prefix = *Prefix::Parse("10.0.0.0/8");
+  transit.attributes.as_path = AsPath::Sequence({701, 666, 1, 2, 9});
+  EXPECT_FALSE(policy.Apply(transit).has_value());
+
+  Route clean = transit;
+  clean.attributes.as_path = AsPath::Sequence({701, 666, 9});
+  EXPECT_TRUE(policy.Apply(clean).has_value());
+}
+
+}  // namespace
+}  // namespace iri::bgp

@@ -1,0 +1,167 @@
+#include "bgp/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace iri::bgp {
+namespace {
+
+Route MakeRoute(const std::string& prefix, std::vector<Asn> path,
+                std::vector<Community> communities = {}) {
+  Route r;
+  r.prefix = *Prefix::Parse(prefix);
+  r.attributes.as_path = AsPath::Sequence(std::move(path));
+  r.attributes.communities = std::move(communities);
+  std::sort(r.attributes.communities.begin(), r.attributes.communities.end());
+  return r;
+}
+
+TEST(Policy, AcceptAllPassesUnmodified) {
+  const auto policy = Policy::AcceptAll();
+  const Route r = MakeRoute("10.0.0.0/8", {701});
+  auto out = policy.Apply(r);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, r);
+}
+
+TEST(Policy, DenyAllDropsEverything) {
+  const auto policy = Policy::DenyAll();
+  EXPECT_FALSE(policy.Apply(MakeRoute("10.0.0.0/8", {701})).has_value());
+}
+
+TEST(Policy, FirstMatchWins) {
+  auto policy = Policy::AcceptAll();
+  PolicyRule deny;
+  deny.match.covered_by = *Prefix::Parse("10.0.0.0/8");
+  deny.action.deny = true;
+  policy.Add(deny);
+  PolicyRule allow;  // would match too, but comes later
+  allow.match.covered_by = *Prefix::Parse("10.0.0.0/8");
+  policy.Add(allow);
+
+  EXPECT_FALSE(policy.Apply(MakeRoute("10.1.0.0/16", {701})).has_value());
+  EXPECT_TRUE(policy.Apply(MakeRoute("11.0.0.0/8", {701})).has_value());
+}
+
+TEST(Policy, ExactPrefixMatch) {
+  auto policy = Policy::DenyAll();
+  PolicyRule rule;
+  rule.match.exact = *Prefix::Parse("192.42.113.0/24");
+  policy.Add(rule);
+  EXPECT_TRUE(policy.Apply(MakeRoute("192.42.113.0/24", {9})).has_value());
+  EXPECT_FALSE(policy.Apply(MakeRoute("192.42.0.0/16", {9})).has_value());
+}
+
+TEST(Policy, PrefixLengthFilter) {
+  // The paper's "draconian" stability enforcement: filter announcements
+  // longer than a given prefix length.
+  auto policy = Policy::AcceptAll();
+  PolicyRule rule;
+  rule.name = "filter-long-prefixes";
+  rule.match.min_length = 25;
+  rule.action.deny = true;
+  policy.Add(rule);
+  EXPECT_TRUE(policy.Apply(MakeRoute("10.0.0.0/24", {9})).has_value());
+  EXPECT_FALSE(policy.Apply(MakeRoute("10.0.0.0/25", {9})).has_value());
+  EXPECT_FALSE(policy.Apply(MakeRoute("10.0.0.1/32", {9})).has_value());
+}
+
+TEST(Policy, PathContainsMatch) {
+  auto policy = Policy::AcceptAll();
+  PolicyRule rule;
+  rule.match.path_contains = 666;
+  rule.action.deny = true;
+  policy.Add(rule);
+  EXPECT_FALSE(policy.Apply(MakeRoute("10.0.0.0/8", {701, 666, 9})).has_value());
+  EXPECT_TRUE(policy.Apply(MakeRoute("10.0.0.0/8", {701, 9})).has_value());
+}
+
+TEST(Policy, OriginAndNeighborAsMatch) {
+  auto policy = Policy::DenyAll();
+  PolicyRule rule;
+  rule.match.neighbor_as = 701;
+  rule.match.origin_as = 9;
+  policy.Add(rule);
+  EXPECT_TRUE(policy.Apply(MakeRoute("10.0.0.0/8", {701, 1239, 9})).has_value());
+  EXPECT_FALSE(policy.Apply(MakeRoute("10.0.0.0/8", {1239, 9})).has_value());
+  EXPECT_FALSE(policy.Apply(MakeRoute("10.0.0.0/8", {701, 1239})).has_value());
+}
+
+TEST(Policy, CommunityMatch) {
+  constexpr Community kTag = (65000u << 16) | 7;
+  auto policy = Policy::DenyAll();
+  PolicyRule rule;
+  rule.match.has_community = kTag;
+  policy.Add(rule);
+  EXPECT_TRUE(policy.Apply(MakeRoute("10.0.0.0/8", {9}, {kTag})).has_value());
+  EXPECT_FALSE(policy.Apply(MakeRoute("10.0.0.0/8", {9})).has_value());
+}
+
+TEST(Policy, SetLocalPrefAndMed) {
+  auto policy = Policy::AcceptAll();
+  PolicyRule rule;
+  rule.match.covered_by = *Prefix::Parse("10.0.0.0/8");
+  rule.action.set_local_pref = 250;
+  rule.action.set_med = 5;
+  policy.Add(rule);
+  auto out = policy.Apply(MakeRoute("10.1.0.0/16", {9}));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->attributes.local_pref, 250u);
+  EXPECT_EQ(out->attributes.med, 5u);
+}
+
+TEST(Policy, ClearMed) {
+  auto policy = Policy::AcceptAll();
+  PolicyRule rule;
+  rule.action.clear_med = true;
+  policy.Add(rule);
+  Route r = MakeRoute("10.0.0.0/8", {9});
+  r.attributes.med = 77;
+  auto out = policy.Apply(r);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->attributes.med.has_value());
+}
+
+TEST(Policy, PrependAction) {
+  auto policy = Policy::AcceptAll();
+  PolicyRule rule;
+  rule.action.prepend_count = 3;
+  rule.action.prepend_asn = 701;
+  policy.Add(rule);
+  auto out = policy.Apply(MakeRoute("10.0.0.0/8", {9}));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->attributes.as_path.ToString(), "701 701 701 9");
+}
+
+TEST(Policy, AddCommunityIsIdempotent) {
+  constexpr Community kTag = (65000u << 16) | 3;
+  auto policy = Policy::AcceptAll();
+  PolicyRule rule;
+  rule.action.add_communities = {kTag};
+  policy.Add(rule);
+  auto out = policy.Apply(MakeRoute("10.0.0.0/8", {9}, {kTag}));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->attributes.communities.size(), 1u);
+}
+
+TEST(Policy, StripCommunities) {
+  auto policy = Policy::AcceptAll();
+  PolicyRule rule;
+  rule.action.strip_communities = true;
+  policy.Add(rule);
+  auto out = policy.Apply(MakeRoute("10.0.0.0/8", {9}, {1, 2, 3}));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->attributes.communities.empty());
+}
+
+TEST(Policy, InputRouteIsNotMutated) {
+  auto policy = Policy::AcceptAll();
+  PolicyRule rule;
+  rule.action.set_med = 9;
+  policy.Add(rule);
+  const Route r = MakeRoute("10.0.0.0/8", {9});
+  (void)policy.Apply(r);
+  EXPECT_FALSE(r.attributes.med.has_value());
+}
+
+}  // namespace
+}  // namespace iri::bgp

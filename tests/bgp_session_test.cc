@@ -1,0 +1,269 @@
+#include "bgp/session.h"
+
+#include <gtest/gtest.h>
+
+namespace iri::bgp {
+namespace {
+
+using Action = SessionFsm::Action;
+using ActionType = SessionFsm::ActionType;
+
+TimePoint T(double seconds) {
+  return TimePoint::Origin() + Duration::Seconds(seconds);
+}
+
+SessionConfig Config(std::uint16_t hold = 90) {
+  SessionConfig cfg;
+  cfg.local_asn = 701;
+  cfg.router_id = IPv4Address(1, 1, 1, 1);
+  cfg.hold_time_s = hold;
+  return cfg;
+}
+
+OpenMessage PeerOpen(std::uint16_t hold = 90) {
+  OpenMessage open;
+  open.asn = 1239;
+  open.hold_time_s = hold;
+  open.bgp_identifier = IPv4Address(2, 2, 2, 2);
+  return open;
+}
+
+bool Has(const SessionFsm::Actions& acts, ActionType type) {
+  for (const auto& a : acts) {
+    if (a.type == type) return true;
+  }
+  return false;
+}
+
+// Drives a session to Established; returns it.
+SessionFsm Established() {
+  SessionFsm fsm(Config());
+  SessionFsm::Actions acts;
+  fsm.Start(T(0), acts);
+  fsm.OnTransportUp(T(0), acts);
+  fsm.OnMessage(T(0.1), PeerOpen(), acts);
+  fsm.OnMessage(T(0.2), KeepAliveMessage{}, acts);
+  EXPECT_EQ(fsm.state(), SessionState::kEstablished);
+  return fsm;
+}
+
+TEST(SessionFsm, HappyPathHandshake) {
+  SessionFsm fsm(Config());
+  SessionFsm::Actions acts;
+
+  EXPECT_EQ(fsm.state(), SessionState::kIdle);
+  fsm.Start(T(0), acts);
+  EXPECT_EQ(fsm.state(), SessionState::kConnect);
+
+  fsm.OnTransportUp(T(0), acts);
+  EXPECT_EQ(fsm.state(), SessionState::kOpenSent);
+  EXPECT_TRUE(Has(acts, ActionType::kSendOpen));
+
+  acts.clear();
+  fsm.OnMessage(T(0.1), PeerOpen(), acts);
+  EXPECT_EQ(fsm.state(), SessionState::kOpenConfirm);
+  EXPECT_TRUE(Has(acts, ActionType::kSendKeepAlive));
+
+  acts.clear();
+  fsm.OnMessage(T(0.2), KeepAliveMessage{}, acts);
+  EXPECT_EQ(fsm.state(), SessionState::kEstablished);
+  EXPECT_TRUE(Has(acts, ActionType::kSessionUp));
+}
+
+TEST(SessionFsm, HoldTimeNegotiatesToMinimum) {
+  SessionFsm fsm(Config(180));
+  SessionFsm::Actions acts;
+  fsm.Start(T(0), acts);
+  fsm.OnTransportUp(T(0), acts);
+  fsm.OnMessage(T(0.1), PeerOpen(30), acts);
+  EXPECT_EQ(fsm.negotiated_hold_time_s(), 30);
+}
+
+TEST(SessionFsm, RejectsForbiddenHoldTimes) {
+  for (std::uint16_t bad : {1, 2}) {
+    SessionFsm fsm(Config());
+    SessionFsm::Actions acts;
+    fsm.Start(T(0), acts);
+    fsm.OnTransportUp(T(0), acts);
+    acts.clear();
+    fsm.OnMessage(T(0.1), PeerOpen(bad), acts);
+    EXPECT_TRUE(Has(acts, ActionType::kSendNotification));
+    EXPECT_EQ(fsm.state(), SessionState::kConnect);
+  }
+}
+
+TEST(SessionFsm, RejectsWrongVersion) {
+  SessionFsm fsm(Config());
+  SessionFsm::Actions acts;
+  fsm.Start(T(0), acts);
+  fsm.OnTransportUp(T(0), acts);
+  OpenMessage open = PeerOpen();
+  open.version = 3;
+  acts.clear();
+  fsm.OnMessage(T(0.1), open, acts);
+  EXPECT_TRUE(Has(acts, ActionType::kSendNotification));
+}
+
+TEST(SessionFsm, PassiveOpenFromConnect) {
+  // The peer's OPEN arrives while we are still in Connect (their retry won
+  // the race): we must answer with our own OPEN and proceed.
+  SessionFsm fsm(Config());
+  SessionFsm::Actions acts;
+  fsm.Start(T(0), acts);
+  ASSERT_EQ(fsm.state(), SessionState::kConnect);
+  fsm.OnMessage(T(1), PeerOpen(), acts);
+  EXPECT_EQ(fsm.state(), SessionState::kOpenConfirm);
+  EXPECT_TRUE(Has(acts, ActionType::kSendOpen));
+  EXPECT_TRUE(Has(acts, ActionType::kSendKeepAlive));
+}
+
+TEST(SessionFsm, NonOpenInOpenSentIsFsmError) {
+  SessionFsm fsm(Config());
+  SessionFsm::Actions acts;
+  fsm.Start(T(0), acts);
+  fsm.OnTransportUp(T(0), acts);
+  acts.clear();
+  fsm.OnMessage(T(0.1), UpdateMessage{}, acts);
+  EXPECT_TRUE(Has(acts, ActionType::kSendNotification));
+  EXPECT_EQ(fsm.state(), SessionState::kConnect);
+}
+
+TEST(SessionFsm, UpdateRefreshesHoldTimer) {
+  SessionFsm fsm = Established();
+  SessionFsm::Actions acts;
+  const TimePoint before = fsm.NextDeadline();
+  fsm.OnMessage(T(50), UpdateMessage{}, acts);
+  // Hold deadline moved forward (keepalive deadline may be earlier; check
+  // that the session does NOT die at the old hold deadline).
+  fsm.OnTimer(before, acts);
+  EXPECT_EQ(fsm.state(), SessionState::kEstablished);
+}
+
+TEST(SessionFsm, HoldTimerExpiryTearsDown) {
+  SessionFsm fsm = Established();
+  SessionFsm::Actions acts;
+  fsm.OnTimer(T(200), acts);  // negotiated hold is 90 s; 200 s of silence
+  EXPECT_EQ(fsm.state(), SessionState::kConnect);
+  EXPECT_TRUE(Has(acts, ActionType::kSendNotification));
+  EXPECT_TRUE(Has(acts, ActionType::kSessionDown));
+}
+
+TEST(SessionFsm, KeepalivesEmittedOnSchedule) {
+  SessionFsm fsm = Established();
+  SessionFsm::Actions acts;
+  int keepalives = 0;
+  TimePoint now = T(1);
+  for (int i = 0; i < 6; ++i) {
+    now = fsm.NextDeadline();
+    acts.clear();
+    fsm.OnTimer(now, acts);
+    // Feed the peer's keepalive back so the hold timer stays fresh.
+    fsm.OnMessage(now, KeepAliveMessage{}, acts);
+    for (const auto& a : acts) {
+      if (a.type == ActionType::kSendKeepAlive) ++keepalives;
+    }
+    ASSERT_EQ(fsm.state(), SessionState::kEstablished);
+  }
+  EXPECT_GE(keepalives, 5);
+  // Interval should be hold/3 = 30 s.
+  EXPECT_LE(now, T(1 + 6 * 31));
+}
+
+TEST(SessionFsm, LateTimerStillFires) {
+  // CPU-starved router: OnTimer called long after the deadline passed.
+  SessionFsm fsm = Established();
+  SessionFsm::Actions acts;
+  fsm.OnTimer(T(10'000), acts);
+  EXPECT_EQ(fsm.state(), SessionState::kConnect);
+}
+
+TEST(SessionFsm, NotificationInEstablishedDropsSession) {
+  SessionFsm fsm = Established();
+  SessionFsm::Actions acts;
+  fsm.OnMessage(T(10), NotificationMessage{NotifyCode::kCease, 0}, acts);
+  EXPECT_EQ(fsm.state(), SessionState::kConnect);
+  EXPECT_TRUE(Has(acts, ActionType::kSessionDown));
+}
+
+TEST(SessionFsm, OpenInEstablishedIsFsmError) {
+  SessionFsm fsm = Established();
+  SessionFsm::Actions acts;
+  fsm.OnMessage(T(10), PeerOpen(), acts);
+  EXPECT_EQ(fsm.state(), SessionState::kConnect);
+  EXPECT_TRUE(Has(acts, ActionType::kSessionDown));
+}
+
+TEST(SessionFsm, TransportDownFromEstablished) {
+  SessionFsm fsm = Established();
+  SessionFsm::Actions acts;
+  fsm.OnTransportDown(T(10), acts);
+  EXPECT_EQ(fsm.state(), SessionState::kConnect);
+  EXPECT_TRUE(Has(acts, ActionType::kSessionDown));
+}
+
+TEST(SessionFsm, StopSendsCeaseAndGoesIdle) {
+  SessionFsm fsm = Established();
+  SessionFsm::Actions acts;
+  fsm.Stop(T(10), acts);
+  EXPECT_EQ(fsm.state(), SessionState::kIdle);
+  EXPECT_TRUE(Has(acts, ActionType::kSendNotification));
+  EXPECT_EQ(fsm.NextDeadline(), TimePoint::Max());
+}
+
+TEST(SessionFsm, IdleIgnoresMessages) {
+  SessionFsm fsm(Config());
+  SessionFsm::Actions acts;
+  fsm.OnMessage(T(0), PeerOpen(), acts);
+  EXPECT_TRUE(acts.empty());
+  EXPECT_EQ(fsm.state(), SessionState::kIdle);
+}
+
+TEST(SessionFsm, SymmetricHandshakeBothSides) {
+  // Two FSMs wired back-to-back must both reach Established.
+  SessionFsm a(Config()), b(Config());
+  SessionFsm::Actions a_out, b_out;
+  a.Start(T(0), a_out);
+  b.Start(T(0), b_out);
+  a.OnTransportUp(T(0), a_out);
+  b.OnTransportUp(T(0), b_out);
+
+  // Exchange pending messages until quiescent (bounded rounds).
+  for (int round = 0; round < 5; ++round) {
+    SessionFsm::Actions a_next, b_next;
+    for (const auto& act : a_out) {
+      if (act.type == ActionType::kSendOpen) {
+        OpenMessage open;
+        open.asn = 701;
+        open.hold_time_s = 90;
+        b.OnMessage(T(round + 1), open, b_next);
+      } else if (act.type == ActionType::kSendKeepAlive) {
+        b.OnMessage(T(round + 1), KeepAliveMessage{}, b_next);
+      }
+    }
+    for (const auto& act : b_out) {
+      if (act.type == ActionType::kSendOpen) {
+        OpenMessage open;
+        open.asn = 1239;
+        open.hold_time_s = 90;
+        a.OnMessage(T(round + 1), open, a_next);
+      } else if (act.type == ActionType::kSendKeepAlive) {
+        a.OnMessage(T(round + 1), KeepAliveMessage{}, a_next);
+      }
+    }
+    a_out = std::move(a_next);
+    b_out = std::move(b_next);
+  }
+  EXPECT_EQ(a.state(), SessionState::kEstablished);
+  EXPECT_EQ(b.state(), SessionState::kEstablished);
+}
+
+TEST(SessionFsm, ToStringCoversAllStates) {
+  EXPECT_STREQ(ToString(SessionState::kIdle), "Idle");
+  EXPECT_STREQ(ToString(SessionState::kConnect), "Connect");
+  EXPECT_STREQ(ToString(SessionState::kOpenSent), "OpenSent");
+  EXPECT_STREQ(ToString(SessionState::kOpenConfirm), "OpenConfirm");
+  EXPECT_STREQ(ToString(SessionState::kEstablished), "Established");
+}
+
+}  // namespace
+}  // namespace iri::bgp

@@ -1,0 +1,200 @@
+#include "bgp/update_packer.h"
+
+#include <gtest/gtest.h>
+
+namespace iri::bgp {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+PathAttributes Attrs(std::vector<Asn> path) {
+  PathAttributes a;
+  a.as_path = AsPath::Sequence(std::move(path));
+  a.next_hop = IPv4Address(10, 0, 0, 1);
+  return a;
+}
+
+TimePoint T(double seconds) {
+  return TimePoint::Origin() + Duration::Seconds(seconds);
+}
+
+TEST(PackUpdates, GroupsAnnouncementsByAttributes) {
+  std::vector<RouteOp> ops = {
+      {P("10.0.0.0/8"), Attrs({701})},
+      {P("11.0.0.0/8"), Attrs({701})},
+      {P("12.0.0.0/8"), Attrs({1239})},
+  };
+  auto msgs = PackUpdates(ops);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].nlri.size(), 2u);
+  EXPECT_EQ(msgs[1].nlri.size(), 1u);
+}
+
+TEST(PackUpdates, WithdrawalsPackedTogetherAndFirst) {
+  std::vector<RouteOp> ops = {
+      {P("10.0.0.0/8"), Attrs({701})},
+      {P("11.0.0.0/8"), std::nullopt},
+      {P("12.0.0.0/8"), std::nullopt},
+  };
+  auto msgs = PackUpdates(ops);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].withdrawn.size(), 2u);
+  EXPECT_TRUE(msgs[0].nlri.empty());
+  EXPECT_EQ(msgs[1].nlri.size(), 1u);
+}
+
+TEST(PackUpdates, SplitsBelowMaxMessageSize) {
+  std::vector<RouteOp> ops;
+  for (std::uint32_t i = 0; i < 3000; ++i) {
+    ops.push_back({Prefix(IPv4Address((10u << 24) | (i << 8)), 24),
+                   std::nullopt});
+  }
+  auto msgs = PackUpdates(ops);
+  EXPECT_GT(msgs.size(), 1u);
+  std::size_t total = 0;
+  for (const auto& m : msgs) {
+    EXPECT_LE(Encode(m).size(), kMaxMessageSize);
+    total += m.withdrawn.size();
+  }
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST(PackUpdates, LargeAnnouncementBatchSplits) {
+  std::vector<RouteOp> ops;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    ops.push_back({Prefix(IPv4Address((10u << 24) | (i << 8)), 24),
+                   Attrs({701, 1239})});
+  }
+  auto msgs = PackUpdates(ops);
+  EXPECT_GT(msgs.size(), 1u);
+  std::size_t total = 0;
+  for (const auto& m : msgs) {
+    EXPECT_LE(Encode(m).size(), kMaxMessageSize);
+    total += m.nlri.size();
+  }
+  EXPECT_EQ(total, 2000u);
+}
+
+TEST(PackUpdates, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(PackUpdates({}).empty());
+}
+
+TEST(OutboundQueue, LatestWinsPerPrefix) {
+  OutboundQueue q({}, 1);
+  q.Enqueue(T(1), {P("10.0.0.0/8"), Attrs({701})});
+  q.Enqueue(T(2), {P("10.0.0.0/8"), std::nullopt});
+  q.Enqueue(T(3), {P("10.0.0.0/8"), Attrs({1239})});
+  auto ops = q.Flush(T(100));
+  ASSERT_EQ(ops.size(), 1u);
+  ASSERT_TRUE(ops[0].attributes.has_value());
+  EXPECT_EQ(ops[0].attributes->as_path.ToString(), "1239");
+}
+
+TEST(OutboundQueue, PreservesFirstEnqueueOrder) {
+  OutboundQueue q({}, 1);
+  q.Enqueue(T(1), {P("12.0.0.0/8"), Attrs({1})});
+  q.Enqueue(T(1), {P("10.0.0.0/8"), Attrs({2})});
+  q.Enqueue(T(1), {P("11.0.0.0/8"), Attrs({3})});
+  q.Enqueue(T(2), {P("12.0.0.0/8"), Attrs({4})});  // replaces, keeps slot 0
+  auto ops = q.Flush(T(100));
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].prefix, P("12.0.0.0/8"));
+  EXPECT_EQ(ops[1].prefix, P("10.0.0.0/8"));
+  EXPECT_EQ(ops[2].prefix, P("11.0.0.0/8"));
+}
+
+TEST(OutboundQueue, FlushBeforeDeadlineReturnsNothing) {
+  PackerConfig cfg;
+  cfg.interval = Duration::Seconds(30);
+  OutboundQueue q(cfg, 1);
+  q.Enqueue(T(1), {P("10.0.0.0/8"), Attrs({701})});
+  EXPECT_TRUE(q.Flush(T(2)).empty());
+  EXPECT_EQ(q.pending_ops(), 1u);
+  EXPECT_FALSE(q.Flush(T(31)).empty());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(OutboundQueue, UnjitteredFlushesOnFixedPhase) {
+  PackerConfig cfg;
+  cfg.interval = Duration::Seconds(30);
+  cfg.discipline = TimerDiscipline::kUnjittered;
+  // Two queues with different seeds and different enqueue times must still
+  // share the same flush phase — the self-synchronization substrate.
+  OutboundQueue q1(cfg, 1), q2(cfg, 999);
+  q1.Enqueue(T(3), {P("10.0.0.0/8"), Attrs({701})});
+  q2.Enqueue(T(17.5), {P("11.0.0.0/8"), Attrs({9})});
+  EXPECT_EQ(q1.NextFlush(), T(30));
+  EXPECT_EQ(q2.NextFlush(), T(30));
+
+  // An enqueue exactly on the boundary goes to the *next* boundary.
+  OutboundQueue q3(cfg, 5);
+  q3.Enqueue(T(30), {P("12.0.0.0/8"), Attrs({9})});
+  EXPECT_EQ(q3.NextFlush(), T(60));
+}
+
+TEST(OutboundQueue, JitteredSpreadsDeadlines) {
+  PackerConfig cfg;
+  cfg.interval = Duration::Seconds(30);
+  cfg.discipline = TimerDiscipline::kJittered;
+  cfg.jitter = 0.25;
+  std::vector<TimePoint> deadlines;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    OutboundQueue q(cfg, seed);
+    q.Enqueue(T(0), {P("10.0.0.0/8"), Attrs({701})});
+    deadlines.push_back(q.NextFlush());
+    // All within interval*(1±jitter).
+    EXPECT_GE(deadlines.back(), T(30 * 0.75));
+    EXPECT_LE(deadlines.back(), T(30 * 1.25));
+  }
+  // Not all identical.
+  const bool all_same = std::all_of(
+      deadlines.begin(), deadlines.end(),
+      [&deadlines](TimePoint t) { return t == deadlines.front(); });
+  EXPECT_FALSE(all_same);
+}
+
+TEST(OutboundQueue, DeadlineRearmsAfterFlush) {
+  PackerConfig cfg;
+  cfg.interval = Duration::Seconds(30);
+  cfg.discipline = TimerDiscipline::kUnjittered;
+  OutboundQueue q(cfg, 1);
+  q.Enqueue(T(3), {P("10.0.0.0/8"), Attrs({701})});
+  (void)q.Flush(T(30));
+  EXPECT_EQ(q.NextFlush(), TimePoint::Max());
+  q.Enqueue(T(42), {P("10.0.0.0/8"), std::nullopt});
+  EXPECT_EQ(q.NextFlush(), T(60));
+}
+
+// The paper's A1-A2-A1 sequence inside one flush window: the queue emits
+// the net A1 — which a stateless router then sends as a duplicate (AADup).
+TEST(OutboundQueue, OscillationWithinWindowCoalescesToFinalState) {
+  PackerConfig cfg;
+  cfg.interval = Duration::Seconds(30);
+  cfg.discipline = TimerDiscipline::kUnjittered;
+  OutboundQueue q(cfg, 1);
+  const auto a1 = Attrs({701, 9});
+  const auto a2 = Attrs({701, 1239, 9});
+  q.Enqueue(T(1), {P("10.0.0.0/8"), a1});
+  q.Enqueue(T(5), {P("10.0.0.0/8"), a2});
+  q.Enqueue(T(9), {P("10.0.0.0/8"), a1});
+  auto ops = q.Flush(T(30));
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(*ops[0].attributes, a1);
+}
+
+// W-A-W within one window nets to a withdrawal (WWDup engine when the
+// route was never announced to the peer).
+TEST(OutboundQueue, WithdrawAnnounceWithdrawNetsToWithdraw) {
+  PackerConfig cfg;
+  cfg.discipline = TimerDiscipline::kUnjittered;
+  OutboundQueue q(cfg, 1);
+  q.Enqueue(T(1), {P("10.0.0.0/8"), std::nullopt});
+  q.Enqueue(T(5), {P("10.0.0.0/8"), Attrs({701})});
+  q.Enqueue(T(9), {P("10.0.0.0/8"), std::nullopt});
+  auto ops = q.Flush(T(30));
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_TRUE(ops[0].IsWithdraw());
+}
+
+}  // namespace
+}  // namespace iri::bgp

@@ -1,0 +1,68 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace iri::core {
+namespace {
+
+TEST(FormatTable, AlignsColumns) {
+  const std::string out = FormatTable({"name", "count"},
+                                      {{"a", "1"}, {"longer-name", "23456"}});
+  // Every data row is as wide as the widest cell per column.
+  const auto lines = [&out] {
+    std::vector<std::string> ls;
+    std::size_t start = 0;
+    while (start < out.size()) {
+      const auto nl = out.find('\n', start);
+      ls.push_back(out.substr(start, nl - start));
+      start = nl + 1;
+    }
+    return ls;
+  }();
+  ASSERT_EQ(lines.size(), 4u);  // header, rule, 2 rows
+  EXPECT_EQ(lines[0].substr(0, 4), "name");
+  EXPECT_NE(lines[1].find("---"), std::string::npos);
+  // The count column starts at the same offset in both data rows.
+  EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
+}
+
+TEST(FormatTable, HandlesEmptyRows) {
+  const std::string out = FormatTable({"alpha", "b"}, {});
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(FormatCategoryReport, ContainsAllCategoriesAndRollups) {
+  CategoryCounts counts;
+  ClassifiedEvent ev;
+  ev.category = Category::kWWDup;
+  ev.event.is_withdraw = true;
+  for (int i = 0; i < 99; ++i) counts.Add(ev);
+  ev.category = Category::kAADiff;
+  ev.event.is_withdraw = false;
+  counts.Add(ev);
+
+  const std::string out = FormatCategoryReport(counts);
+  EXPECT_NE(out.find("WWDup"), std::string::npos);
+  EXPECT_NE(out.find("99"), std::string::npos);
+  EXPECT_NE(out.find("99.00%"), std::string::npos);
+  EXPECT_NE(out.find("instability"), std::string::npos);
+  EXPECT_NE(out.find("pathology"), std::string::npos);
+  EXPECT_NE(out.find("withdrawals:"), std::string::npos);
+}
+
+TEST(FormatCategoryReport, ZeroTotalsDoNotDivideByZero) {
+  const std::string out = FormatCategoryReport(CategoryCounts{});
+  EXPECT_NE(out.find("0.00%"), std::string::npos);
+}
+
+TEST(AsciiBar, ScalesAndClamps) {
+  EXPECT_EQ(AsciiBar(0, 100, 10), "");
+  EXPECT_EQ(AsciiBar(50, 100, 10), "#####");
+  EXPECT_EQ(AsciiBar(100, 100, 10), "##########");
+  EXPECT_EQ(AsciiBar(500, 100, 10), "##########");  // clamped
+  EXPECT_EQ(AsciiBar(5, 0, 10), "##########");      // degenerate max
+}
+
+}  // namespace
+}  // namespace iri::core

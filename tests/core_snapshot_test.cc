@@ -1,0 +1,91 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+namespace iri::core {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+bgp::Route R(const std::string& prefix, std::vector<bgp::Asn> path) {
+  bgp::Route r;
+  r.prefix = P(prefix);
+  r.attributes.as_path = bgp::AsPath::Sequence(std::move(path));
+  r.attributes.next_hop = IPv4Address(10, 0, 0, 1);
+  return r;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rib.AddPeer(1, IPv4Address(1, 1, 1, 1));
+    rib.AddPeer(2, IPv4Address(2, 2, 2, 2));
+  }
+  bgp::Rib rib;
+};
+
+TEST_F(SnapshotTest, AnalyzeCountsComposition) {
+  rib.Announce(1, R("10.0.0.0/8", {701}));          // aggregate (< /17)
+  rib.Announce(1, R("204.10.1.0/24", {701, 9}));
+  rib.Announce(2, R("204.10.1.0/24", {1239, 9}));   // multihomed
+  rib.Announce(2, R("204.10.2.0/24", {1239}));
+
+  const TableComposition comp = AnalyzeTable(rib);
+  EXPECT_EQ(comp.prefixes, 3u);
+  EXPECT_EQ(comp.routes, 4u);
+  EXPECT_EQ(comp.multihomed, 1u);
+  EXPECT_EQ(comp.aggregates, 1u);
+  EXPECT_EQ(comp.unique_as_paths, 4u);
+  // ASes: 701, 9, 1239.
+  EXPECT_EQ(comp.autonomous_systems, 3u);
+  EXPECT_NE(comp.ToString().find("3 prefixes"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, AnalyzeEmptyTable) {
+  const TableComposition comp = AnalyzeTable(rib);
+  EXPECT_EQ(comp.prefixes, 0u);
+  EXPECT_EQ(comp.autonomous_systems, 0u);
+}
+
+TEST_F(SnapshotTest, DiffDetectsAddRemoveChange) {
+  rib.Announce(1, R("10.0.0.0/8", {701, 9}));
+  rib.Announce(1, R("11.0.0.0/8", {701}));
+  const TableSnapshot before = TableSnapshot::Capture(rib);
+
+  rib.Withdraw(1, P("11.0.0.0/8"));                  // removed
+  rib.Announce(1, R("12.0.0.0/8", {701}));           // added
+  rib.Announce(2, R("10.0.0.0/8", {9}));             // best-path change
+  const TableSnapshot after = TableSnapshot::Capture(rib);
+
+  const TableDelta delta = before.DiffAgainst(after);
+  EXPECT_EQ(delta.added, 1u);
+  EXPECT_EQ(delta.removed, 1u);
+  EXPECT_EQ(delta.path_changed, 1u);
+}
+
+TEST_F(SnapshotTest, IdenticalSnapshotsDiffToZero) {
+  rib.Announce(1, R("10.0.0.0/8", {701}));
+  const TableSnapshot a = TableSnapshot::Capture(rib);
+  const TableSnapshot b = TableSnapshot::Capture(rib);
+  const TableDelta delta = a.DiffAgainst(b);
+  EXPECT_EQ(delta.added, 0u);
+  EXPECT_EQ(delta.removed, 0u);
+  EXPECT_EQ(delta.path_changed, 0u);
+}
+
+TEST_F(SnapshotTest, ChurnThatRestoresStateIsInvisibleToSnapshots) {
+  // The headline contrast: the update stream can carry millions of events
+  // while daily snapshots barely move.
+  rib.Announce(1, R("10.0.0.0/8", {701}));
+  const TableSnapshot before = TableSnapshot::Capture(rib);
+  for (int i = 0; i < 100; ++i) {
+    rib.Withdraw(1, P("10.0.0.0/8"));
+    rib.Announce(1, R("10.0.0.0/8", {701}));
+  }
+  const TableSnapshot after = TableSnapshot::Capture(rib);
+  const TableDelta delta = before.DiffAgainst(after);
+  EXPECT_EQ(delta.added + delta.removed + delta.path_changed, 0u);
+}
+
+}  // namespace
+}  // namespace iri::core

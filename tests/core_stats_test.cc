@@ -1,0 +1,250 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace iri::core {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+ClassifiedEvent Event(Category cat, double t_seconds, bgp::PeerId peer = 1,
+                      const std::string& prefix = "10.0.0.0/8",
+                      bool policy = false) {
+  ClassifiedEvent ev;
+  ev.event.time = TimePoint::Origin() + Duration::Seconds(t_seconds);
+  ev.event.peer = peer;
+  ev.event.peer_asn = 100 + peer;
+  ev.event.prefix = P(prefix);
+  ev.event.is_withdraw =
+      cat == Category::kWithdraw || cat == Category::kWWDup;
+  ev.category = cat;
+  ev.policy_fluctuation = policy;
+  return ev;
+}
+
+TEST(CategoryCounts, RollupsMatchPaperDefinitions) {
+  CategoryCounts c;
+  c.Add(Event(Category::kWADiff, 0));
+  c.Add(Event(Category::kAADiff, 1));
+  c.Add(Event(Category::kWADup, 2));
+  c.Add(Event(Category::kAADup, 3));
+  c.Add(Event(Category::kWWDup, 4));
+  c.Add(Event(Category::kWithdraw, 5));
+  c.Add(Event(Category::kInitial, 6));
+  EXPECT_EQ(c.Instability(), 3u);
+  EXPECT_EQ(c.Pathology(), 2u);
+  EXPECT_EQ(c.Total(), 7u);
+  EXPECT_EQ(c.withdrawals, 2u);
+  EXPECT_EQ(c.announcements, 5u);
+}
+
+TEST(CategoryCounts, PolicyFluctuationsCounted) {
+  CategoryCounts c;
+  c.Add(Event(Category::kAADup, 0, 1, "10.0.0.0/8", true));
+  c.Add(Event(Category::kAADup, 1));
+  EXPECT_EQ(c.policy_fluctuations, 1u);
+}
+
+TEST(DailyCategoryTally, SplitsAtMidnight) {
+  DailyCategoryTally tally;
+  tally.Add(Event(Category::kAADiff, 10));
+  tally.Add(Event(Category::kAADiff, 86399));
+  tally.Add(Event(Category::kWADiff, 86401));
+  ASSERT_EQ(tally.days().size(), 2u);
+  EXPECT_EQ(tally.days()[0].Of(Category::kAADiff), 2u);
+  EXPECT_EQ(tally.days()[1].Of(Category::kWADiff), 1u);
+}
+
+TEST(DailyCategoryTally, SkippedDaysAreEmpty) {
+  DailyCategoryTally tally;
+  tally.Add(Event(Category::kAADiff, 10));
+  tally.Add(Event(Category::kAADiff, 3 * 86400 + 10));
+  ASSERT_EQ(tally.days().size(), 4u);
+  EXPECT_EQ(tally.days()[1].Total(), 0u);
+  EXPECT_EQ(tally.days()[2].Total(), 0u);
+}
+
+TEST(TimeBinner, BinsAtConfiguredWidth) {
+  TimeBinner binner(Duration::Minutes(10));
+  binner.Add(TimePoint::Origin() + Duration::Minutes(5));
+  binner.Add(TimePoint::Origin() + Duration::Minutes(9));
+  binner.Add(TimePoint::Origin() + Duration::Minutes(10));  // next bin
+  binner.Add(TimePoint::Origin() + Duration::Minutes(35), 4);
+  ASSERT_EQ(binner.bins().size(), 4u);
+  EXPECT_EQ(binner.bins()[0], 2u);
+  EXPECT_EQ(binner.bins()[1], 1u);
+  EXPECT_EQ(binner.bins()[2], 0u);
+  EXPECT_EQ(binner.bins()[3], 4u);
+}
+
+TEST(TimeBinner, ExtendToPadsTrailingQuiet) {
+  TimeBinner binner(Duration::Hours(1));
+  binner.Add(TimePoint::Origin() + Duration::Minutes(30));
+  binner.ExtendTo(TimePoint::Origin() + Duration::Hours(5));
+  EXPECT_EQ(binner.bins().size(), 6u);
+  EXPECT_EQ(binner.bins()[5], 0u);
+}
+
+TEST(PeerDayTally, TracksPerPeerPerDay) {
+  PeerDayTally tally;
+  tally.Add(Event(Category::kAADiff, 100, 1));
+  tally.Add(Event(Category::kAADiff, 200, 1));
+  tally.Add(Event(Category::kAADiff, 300, 2));
+  tally.Add(Event(Category::kAADiff, 86400 + 100, 1));
+  tally.SetTableShare(1, 0, 0.25, 101);
+
+  EXPECT_EQ(tally.cells().size(), 3u);
+  const auto& cell = tally.cells().at({1, 0});
+  EXPECT_EQ(cell.counts.Of(Category::kAADiff), 2u);
+  EXPECT_DOUBLE_EQ(cell.table_share, 0.25);
+  EXPECT_EQ(tally.DayTotal(0, Category::kAADiff), 3u);
+  EXPECT_EQ(tally.DayTotal(1, Category::kAADiff), 1u);
+}
+
+TEST(PrefixPeerDaily, BuildsDailyCountMultisets) {
+  PrefixPeerDaily daily;
+  // Day 0: prefix A sees 3 AADiffs, prefix B sees 1.
+  daily.Add(Event(Category::kAADiff, 10, 1, "10.0.0.0/8"));
+  daily.Add(Event(Category::kAADiff, 20, 1, "10.0.0.0/8"));
+  daily.Add(Event(Category::kAADiff, 30, 1, "10.0.0.0/8"));
+  daily.Add(Event(Category::kAADiff, 40, 1, "11.0.0.0/8"));
+  // Untracked categories must be ignored.
+  daily.Add(Event(Category::kWWDup, 50, 1, "10.0.0.0/8"));
+  // Day 1: one WADup.
+  daily.Add(Event(Category::kWADup, 86400 + 10, 1, "10.0.0.0/8"));
+  daily.Finalize();
+
+  ASSERT_EQ(daily.days().size(), 2u);
+  const auto& day0 = daily.days()[0];
+  EXPECT_EQ(day0.counts[0], (std::vector<std::uint32_t>{1, 3}));  // AADiff
+  EXPECT_TRUE(day0.counts[3].empty());                            // WADup
+  const auto& day1 = daily.days()[1];
+  EXPECT_EQ(day1.counts[3], (std::vector<std::uint32_t>{1}));
+}
+
+TEST(CumulativeEventProportion, MatchesHandComputation) {
+  // Counts: routes with 1,1,2,10 events => total 14.
+  const std::vector<std::uint32_t> counts = {1, 1, 2, 10};
+  auto cdf = CumulativeEventProportion(counts, {1, 2, 5, 10, 100});
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(cdf[0], 2.0 / 14);   // counts <= 1
+  EXPECT_DOUBLE_EQ(cdf[1], 4.0 / 14);   // counts <= 2
+  EXPECT_DOUBLE_EQ(cdf[2], 4.0 / 14);   // nothing between 3 and 5
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(CumulativeEventProportion, EmptyCountsYieldZeros) {
+  auto cdf = CumulativeEventProportion({}, {1, 10});
+  EXPECT_EQ(cdf, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(InterArrivalHistogram, BinsGapsOnLogScale) {
+  InterArrivalHistogram hist;
+  // Three AADiffs on the same route, 30 s apart -> two 30 s gaps.
+  hist.Add(Event(Category::kAADiff, 0));
+  hist.Add(Event(Category::kAADiff, 30));
+  hist.Add(Event(Category::kAADiff, 60));
+  // One gap of ~5 minutes on another route.
+  hist.Add(Event(Category::kAADiff, 0, 2, "11.0.0.0/8"));
+  hist.Add(Event(Category::kAADiff, 290, 2, "11.0.0.0/8"));
+  hist.Finalize();
+
+  ASSERT_EQ(hist.days().size(), 1u);
+  const auto& bins = hist.days()[0].bins[0];  // AADiff
+  EXPECT_EQ(bins[2], 2u);  // 30 s bin
+  EXPECT_EQ(bins[4], 1u);  // 5 m bin
+}
+
+TEST(InterArrivalHistogram, FirstEventProducesNoGap) {
+  InterArrivalHistogram hist;
+  hist.Add(Event(Category::kWADup, 100));
+  hist.Finalize();
+  std::uint64_t total = 0;
+  for (auto b : hist.days()[0].bins[3]) total += b;
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(InterArrivalHistogram, GapsSpanDays) {
+  InterArrivalHistogram hist;
+  hist.Add(Event(Category::kAADiff, 86400 - 10));
+  hist.Add(Event(Category::kAADiff, 86400 + 10));  // 20 s gap across midnight
+  hist.Finalize();
+  ASSERT_EQ(hist.days().size(), 2u);
+  // The gap lands in day 1's histogram, 30s bin (20 s <= 30 s edge).
+  EXPECT_EQ(hist.days()[1].bins[0][2], 1u);
+}
+
+TEST(InterArrivalHistogram, HugeGapsClampToLastBin) {
+  InterArrivalHistogram hist;
+  hist.Add(Event(Category::kAADiff, 0));
+  hist.Add(Event(Category::kAADiff, 3 * 86400.0));
+  hist.Finalize();
+  const auto& last_day = hist.days().back();
+  EXPECT_EQ(last_day.bins[0][11], 1u);  // 24h bin
+}
+
+TEST(InterArrivalHistogram, SummaryQuartilesOverDays) {
+  InterArrivalHistogram hist;
+  // Three days, each with gaps only in the 30 s bin; proportions are all 1.
+  // Distinct routes per day so no cross-day gap pollutes the histograms.
+  for (int day = 0; day < 3; ++day) {
+    const auto peer = static_cast<bgp::PeerId>(day + 1);
+    hist.Add(Event(Category::kAADiff, day * 86400.0 + 0, peer));
+    hist.Add(Event(Category::kAADiff, day * 86400.0 + 25, peer));
+  }
+  hist.Finalize();
+  auto summary = hist.Summarize();
+  EXPECT_DOUBLE_EQ(summary[0][2].median, 1.0);
+  EXPECT_DOUBLE_EQ(summary[0][2].q1, 1.0);
+  EXPECT_DOUBLE_EQ(summary[0][2].q3, 1.0);
+  EXPECT_DOUBLE_EQ(summary[0][5].median, 0.0);
+}
+
+TEST(RoutesAffectedDaily, CountsDistinctRoutesPerDay) {
+  RoutesAffectedDaily affected;
+  // Day 0: route A has 3 AADiffs (counted once); route B one WADiff.
+  affected.Add(Event(Category::kAADiff, 10, 1, "10.0.0.0/8"));
+  affected.Add(Event(Category::kAADiff, 20, 1, "10.0.0.0/8"));
+  affected.Add(Event(Category::kAADiff, 30, 1, "10.0.0.0/8"));
+  affected.Add(Event(Category::kWADiff, 40, 1, "11.0.0.0/8"));
+  affected.Add(Event(Category::kWWDup, 50, 1, "12.0.0.0/8"));
+  // Day 1: quiet for A; C appears.
+  affected.Add(Event(Category::kAADup, 86400 + 10, 1, "13.0.0.0/8"));
+  affected.Finalize();
+
+  ASSERT_EQ(affected.days().size(), 2u);
+  const auto& day0 = affected.days()[0];
+  EXPECT_EQ(day0.routes_with_aadiff, 1u);
+  EXPECT_EQ(day0.routes_with_wadiff, 1u);
+  EXPECT_EQ(day0.routes_with_instability, 2u);
+  // The WWDup at 12/8 targeted a pair that never announced reachability:
+  // it is not a route and must not count.
+  EXPECT_EQ(day0.routes_with_any, 2u);
+  EXPECT_EQ(day0.universe, 2u);
+  const auto& day1 = affected.days()[1];
+  EXPECT_EQ(day1.routes_with_any, 1u);
+  // The universe is cumulative: 3 announced routes seen so far.
+  EXPECT_EQ(day1.universe, 3u);
+}
+
+TEST(RoutesAffectedDaily, WithdrawalOfKnownRouteCounts) {
+  RoutesAffectedDaily affected;
+  affected.Add(Event(Category::kInitial, 10, 1, "10.0.0.0/8"));
+  affected.Add(Event(Category::kWithdraw, 20, 1, "10.0.0.0/8"));
+  affected.Add(Event(Category::kWADup, 30, 1, "10.0.0.0/8"));
+  affected.Finalize();
+  ASSERT_EQ(affected.days().size(), 1u);
+  EXPECT_EQ(affected.days()[0].routes_with_instability, 1u);
+  EXPECT_EQ(affected.days()[0].universe, 1u);
+}
+
+TEST(DayOf, MapsNanosecondsToDays) {
+  EXPECT_EQ(DayOf(TimePoint::Origin()), 0);
+  EXPECT_EQ(DayOf(TimePoint::Origin() + Duration::Hours(23.9)), 0);
+  EXPECT_EQ(DayOf(TimePoint::Origin() + Duration::Hours(24)), 1);
+  EXPECT_EQ(DayOf(TimePoint::Origin() + Duration::Days(45.5)), 45);
+}
+
+}  // namespace
+}  // namespace iri::core

@@ -1,0 +1,103 @@
+// End-to-end scenario tests: build a small exchange, run simulated time,
+// and check that the paper's qualitative structure appears in the monitored
+// stream — plus determinism and the ablation switches.
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "workload/scenario.h"
+
+namespace iri {
+namespace {
+
+workload::ScenarioConfig SmallConfig() {
+  workload::ScenarioConfig cfg;
+  cfg.topology.scale = 1.0 / 128;  // ~330 prefixes
+  cfg.topology.num_providers = 8;
+  cfg.topology.seed = 7;
+  cfg.seed = 11;
+  cfg.duration = Duration::Hours(30);
+  return cfg;
+}
+
+TEST(ScenarioIntegration, SessionsEstablishAndTablePopulates) {
+  workload::ExchangeScenario scenario(SmallConfig());
+  scenario.RunUntil(TimePoint::Origin() + Duration::Minutes(5));
+  auto& rs = scenario.route_server();
+  for (std::size_t i = 0; i < rs.num_peers(); ++i) {
+    EXPECT_EQ(rs.PeerSessionState(static_cast<bgp::PeerId>(i)),
+              bgp::SessionState::kEstablished)
+        << "peer " << i;
+  }
+  // The route server should hold every visible prefix plus aggregates.
+  EXPECT_GE(rs.rib().NumPrefixes(),
+            static_cast<std::size_t>(scenario.universe().VisiblePrefixes()));
+}
+
+TEST(ScenarioIntegration, MonitorSeesInstabilityAndPathology) {
+  workload::ExchangeScenario scenario(SmallConfig());
+  core::CategoryCounts counts;
+  scenario.monitor().AddSink(
+      [&counts](const core::ClassifiedEvent& ev) { counts.Add(ev); });
+  scenario.Run();
+  EXPECT_GT(counts.Total(), 600u);
+  EXPECT_GT(counts.Instability(), 0u);
+  EXPECT_GT(counts.Pathology(), 0u);
+  // WWDup should be present (half the providers are stateless).
+  EXPECT_GT(counts.Of(core::Category::kWWDup), 0u);
+}
+
+TEST(ScenarioIntegration, DeterministicAcrossRuns) {
+  auto run = [] {
+    workload::ExchangeScenario scenario(SmallConfig());
+    core::CategoryCounts counts;
+    scenario.monitor().AddSink(
+        [&counts](const core::ClassifiedEvent& ev) { counts.Add(ev); });
+    scenario.Run();
+    return counts;
+  };
+  const core::CategoryCounts a = run();
+  const core::CategoryCounts b = run();
+  EXPECT_EQ(a.by_category, b.by_category);
+  EXPECT_EQ(a.announcements, b.announcements);
+  EXPECT_EQ(a.withdrawals, b.withdrawals);
+}
+
+TEST(ScenarioIntegration, StatefulFixEliminatesWWDup) {
+  auto cfg = SmallConfig();
+  cfg.force_all_stateful = true;
+  workload::ExchangeScenario scenario(cfg);
+  core::CategoryCounts counts;
+  scenario.monitor().AddSink(
+      [&counts](const core::ClassifiedEvent& ev) { counts.Add(ev); });
+  scenario.Run();
+  // The vendor software fix: no withdrawal ever goes to a peer that was not
+  // previously told about the route.
+  EXPECT_EQ(counts.Of(core::Category::kWWDup), 0u);
+}
+
+TEST(ScenarioIntegration, StatelessProducesFarMorePathology) {
+  auto base = SmallConfig();
+  base.duration = Duration::Hours(48);
+
+  auto counts_with = [&](bool force_stateful) {
+    auto cfg = base;
+    cfg.force_all_stateful = force_stateful;
+    workload::ExchangeScenario scenario(cfg);
+    core::CategoryCounts counts;
+    scenario.monitor().AddSink(
+        [&counts](const core::ClassifiedEvent& ev) { counts.Add(ev); });
+    scenario.Run();
+    return counts;
+  };
+  const core::CategoryCounts stateless = counts_with(false);
+  const core::CategoryCounts stateful = counts_with(true);
+  // The vendor fix removes WWDup entirely and cuts pathology volume by a
+  // large factor (the paper: "one or more orders of magnitude").
+  EXPECT_EQ(stateful.Of(core::Category::kWWDup), 0u);
+  EXPECT_GT(stateless.Of(core::Category::kWWDup), 100u);
+  EXPECT_GT(stateless.Pathology(), 3 * stateful.Pathology());
+  EXPECT_GT(stateless.Total(), stateful.Total());
+}
+
+}  // namespace
+}  // namespace iri

@@ -1,0 +1,158 @@
+// Randomized model-check of the Rib against a straightforward reference
+// implementation: after any sequence of announce/withdraw/clear operations,
+// the RIB's best route must equal SelectBest over the reference's candidate
+// set, and the reported change flags must be consistent.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "bgp/rib.h"
+#include "netbase/rng.h"
+
+namespace iri::bgp {
+namespace {
+
+class RibModelCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RibModelCheck, MatchesReferenceUnderRandomOps) {
+  Rng rng(GetParam());
+  Rib rib;
+  constexpr int kPeers = 6;
+  for (PeerId p = 0; p < kPeers; ++p) {
+    rib.AddPeer(p, IPv4Address(10, 0, 0, static_cast<std::uint8_t>(p + 1)));
+  }
+
+  // Reference: prefix -> peer -> attributes.
+  std::map<Prefix, std::map<PeerId, PathAttributes>> model;
+
+  auto reference_best =
+      [&model](const Prefix& prefix) -> std::optional<Candidate> {
+    auto it = model.find(prefix);
+    if (it == model.end() || it->second.empty()) return std::nullopt;
+    std::vector<Candidate> candidates;
+    for (const auto& [peer, attrs] : it->second) {
+      candidates.push_back(
+          {peer, IPv4Address(10, 0, 0, static_cast<std::uint8_t>(peer + 1)),
+           attrs});
+    }
+    return candidates[static_cast<std::size_t>(SelectBest(candidates))];
+  };
+
+  auto random_prefix = [&rng] {
+    return Prefix(IPv4Address((10u << 24) |
+                              (static_cast<std::uint32_t>(rng.Below(24)) << 8)),
+                  24);
+  };
+  auto random_attrs = [&rng] {
+    PathAttributes a;
+    std::vector<Asn> path;
+    const int len = 1 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < len; ++i) {
+      path.push_back(static_cast<Asn>(100 + rng.Below(6)));
+    }
+    a.as_path = AsPath::Sequence(std::move(path));
+    a.next_hop = IPv4Address(static_cast<std::uint32_t>(rng.Below(4) + 1));
+    if (rng.Bernoulli(0.3)) a.med = static_cast<std::uint32_t>(rng.Below(10));
+    return a;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto peer = static_cast<PeerId>(rng.Below(kPeers));
+    const Prefix prefix = random_prefix();
+    const auto before = reference_best(prefix);
+
+    switch (rng.Below(5)) {
+      case 0:
+      case 1:
+      case 2: {  // announce
+        Route route{prefix, random_attrs()};
+        const RibChange change = rib.Announce(peer, route);
+        model[prefix][peer] = route.attributes;
+        const auto after = reference_best(prefix);
+        ASSERT_TRUE(after.has_value());
+        EXPECT_EQ(change.best_changed,
+                  !before.has_value() || before->peer != after->peer ||
+                      !(before->attributes == after->attributes));
+        break;
+      }
+      case 3: {  // withdraw
+        const RibChange change = rib.Withdraw(peer, prefix);
+        auto it = model.find(prefix);
+        if (it != model.end()) {
+          it->second.erase(peer);
+          if (it->second.empty()) model.erase(it);
+        }
+        const auto after = reference_best(prefix);
+        const bool expect_change =
+            before.has_value() != after.has_value() ||
+            (before && after &&
+             (before->peer != after->peer ||
+              !(before->attributes == after->attributes)));
+        EXPECT_EQ(change.best_changed, expect_change);
+        break;
+      }
+      default: {  // session loss
+        rib.ClearPeer(peer);
+        for (auto it = model.begin(); it != model.end();) {
+          it->second.erase(peer);
+          it = it->second.empty() ? model.erase(it) : std::next(it);
+        }
+        break;
+      }
+    }
+
+    // Full-state cross-check every 100 steps (cheap enough at this size).
+    if (step % 100 == 99) {
+      std::size_t model_routes = 0;
+      for (const auto& [p, peers] : model) {
+        model_routes += peers.size();
+        const Candidate* got = rib.Best(p);
+        const auto want = reference_best(p);
+        ASSERT_NE(got, nullptr) << p.ToString();
+        ASSERT_TRUE(want.has_value());
+        EXPECT_EQ(got->peer, want->peer) << p.ToString();
+        EXPECT_EQ(got->attributes, want->attributes);
+      }
+      EXPECT_EQ(rib.NumPrefixes(), model.size());
+      EXPECT_EQ(rib.NumRoutes(), model_routes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RibModelCheck,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// Invariant: per-peer route counts always sum to NumRoutes.
+class RibCountInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RibCountInvariant, CountsAlwaysConsistent) {
+  Rng rng(GetParam());
+  Rib rib;
+  constexpr int kPeers = 4;
+  for (PeerId p = 0; p < kPeers; ++p) {
+    rib.AddPeer(p, IPv4Address(1, 1, 1, static_cast<std::uint8_t>(p + 1)));
+  }
+  for (int step = 0; step < 2000; ++step) {
+    const auto peer = static_cast<PeerId>(rng.Below(kPeers));
+    const Prefix prefix(
+        IPv4Address((172u << 24) |
+                    (static_cast<std::uint32_t>(rng.Below(40)) << 8)),
+        24);
+    if (rng.Bernoulli(0.6)) {
+      Route r{prefix, {}};
+      r.attributes.as_path = AsPath::Sequence({static_cast<Asn>(peer + 1)});
+      rib.Announce(peer, r);
+    } else {
+      rib.Withdraw(peer, prefix);
+    }
+    std::size_t sum = 0;
+    for (PeerId p = 0; p < kPeers; ++p) sum += rib.PeerRouteCount(p);
+    ASSERT_EQ(sum, rib.NumRoutes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RibCountInvariant, ::testing::Values(7, 8, 9));
+
+}  // namespace
+}  // namespace iri::bgp

@@ -1,0 +1,188 @@
+#include "sim/forwarding.h"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.h"
+
+namespace iri::sim {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+TimePoint T(double s) { return TimePoint::Origin() + Duration::Seconds(s); }
+
+ForwardingEngine::Params CacheParams() {
+  ForwardingEngine::Params p;
+  p.architecture = ForwardingArchitecture::kRouteCache;
+  p.cache_capacity = 4;
+  return p;
+}
+
+TEST(ForwardingEngine, FirstPacketMissesThenHits) {
+  ForwardingEngine fwd(CacheParams());
+  fwd.OnRouteChange(P("10.0.0.0/8"), IPv4Address(1, 1, 1, 1), T(0));
+  EXPECT_TRUE(fwd.Forward(IPv4Address(10, 1, 2, 3), T(1)));
+  EXPECT_EQ(fwd.stats().misses, 1u);
+  EXPECT_EQ(fwd.stats().fast_path, 0u);
+  EXPECT_TRUE(fwd.Forward(IPv4Address(10, 1, 2, 9), T(2)));  // same /24
+  EXPECT_EQ(fwd.stats().fast_path, 1u);
+  EXPECT_EQ(fwd.stats().misses, 1u);
+}
+
+TEST(ForwardingEngine, DifferentSlash24sAreSeparateEntries) {
+  ForwardingEngine fwd(CacheParams());
+  fwd.OnRouteChange(P("10.0.0.0/8"), IPv4Address(1, 1, 1, 1), T(0));
+  fwd.Forward(IPv4Address(10, 1, 2, 3), T(1));
+  fwd.Forward(IPv4Address(10, 1, 3, 3), T(2));
+  EXPECT_EQ(fwd.stats().misses, 2u);
+  EXPECT_EQ(fwd.cache_size(), 2u);
+}
+
+TEST(ForwardingEngine, NoRouteDrops) {
+  ForwardingEngine fwd(CacheParams());
+  EXPECT_FALSE(fwd.Forward(IPv4Address(10, 1, 2, 3), T(1)));
+  EXPECT_EQ(fwd.stats().no_route, 1u);
+}
+
+TEST(ForwardingEngine, LruEvictionAtCapacity) {
+  ForwardingEngine fwd(CacheParams());  // capacity 4
+  fwd.OnRouteChange(P("10.0.0.0/8"), IPv4Address(1, 1, 1, 1), T(0));
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    fwd.Forward(IPv4Address(10, 0, i, 1), T(1 + i));
+  }
+  EXPECT_EQ(fwd.cache_size(), 4u);
+  // The first /24 was evicted: forwarding to it misses again.
+  const auto misses_before = fwd.stats().misses;
+  fwd.Forward(IPv4Address(10, 0, 0, 2), T(10));
+  EXPECT_EQ(fwd.stats().misses, misses_before + 1);
+}
+
+TEST(ForwardingEngine, LruRefreshOnHit) {
+  ForwardingEngine fwd(CacheParams());  // capacity 4
+  fwd.OnRouteChange(P("10.0.0.0/8"), IPv4Address(1, 1, 1, 1), T(0));
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    fwd.Forward(IPv4Address(10, 0, i, 1), T(1 + i));
+  }
+  // Touch the oldest entry, then insert a new one: the second-oldest must
+  // be the victim.
+  fwd.Forward(IPv4Address(10, 0, 0, 9), T(5));   // refresh /24 #0
+  fwd.Forward(IPv4Address(10, 0, 9, 1), T(6));   // evicts /24 #1
+  const auto misses_before = fwd.stats().misses;
+  fwd.Forward(IPv4Address(10, 0, 0, 7), T(7));   // still cached
+  EXPECT_EQ(fwd.stats().misses, misses_before);
+  fwd.Forward(IPv4Address(10, 0, 1, 7), T(8));   // was evicted
+  EXPECT_EQ(fwd.stats().misses, misses_before + 1);
+}
+
+TEST(ForwardingEngine, RouteChangeInvalidatesCoveredEntries) {
+  ForwardingEngine fwd(CacheParams());
+  fwd.OnRouteChange(P("10.0.0.0/8"), IPv4Address(1, 1, 1, 1), T(0));
+  fwd.Forward(IPv4Address(10, 0, 0, 1), T(1));
+  fwd.Forward(IPv4Address(10, 0, 1, 1), T(2));
+  fwd.Forward(IPv4Address(11, 0, 0, 1), T(3));  // no route -> not cached
+  fwd.OnRouteChange(P("11.0.0.0/8"), IPv4Address(2, 2, 2, 2), T(4));
+  ASSERT_EQ(fwd.cache_size(), 2u);
+
+  // An update inside 10/8 purges both cached /24s under it.
+  fwd.OnRouteChange(P("10.0.0.0/16"), IPv4Address(3, 3, 3, 3), T(5));
+  EXPECT_EQ(fwd.cache_size(), 0u);
+  EXPECT_EQ(fwd.stats().invalidations, 2u);
+
+  // Next packet re-resolves through the NEW more-specific route.
+  fwd.Forward(IPv4Address(10, 0, 0, 1), T(6));
+  EXPECT_EQ(fwd.stats().misses, 4u);
+}
+
+TEST(ForwardingEngine, MoreSpecificChangeInvalidatesCoveringEntry) {
+  ForwardingEngine fwd(CacheParams());
+  fwd.OnRouteChange(P("10.0.0.0/8"), IPv4Address(1, 1, 1, 1), T(0));
+  fwd.Forward(IPv4Address(10, 7, 7, 7), T(1));
+  ASSERT_EQ(fwd.cache_size(), 1u);
+  // A /32 inside the cached /24 shadows part of it: must invalidate.
+  fwd.OnRouteChange(P("10.7.7.7/32"), IPv4Address(9, 9, 9, 9), T(2));
+  EXPECT_EQ(fwd.cache_size(), 0u);
+}
+
+TEST(ForwardingEngine, WithdrawalInvalidatesAndRemovesRoute) {
+  ForwardingEngine fwd(CacheParams());
+  fwd.OnRouteChange(P("10.0.0.0/8"), IPv4Address(1, 1, 1, 1), T(0));
+  fwd.Forward(IPv4Address(10, 0, 0, 1), T(1));
+  fwd.OnRouteWithdrawn(P("10.0.0.0/8"), T(2));
+  EXPECT_EQ(fwd.cache_size(), 0u);
+  EXPECT_FALSE(fwd.Forward(IPv4Address(10, 0, 0, 1), T(3)));
+  EXPECT_EQ(fwd.stats().no_route, 1u);
+}
+
+TEST(ForwardingEngine, CpuQueueOverflowDropsMisses) {
+  ForwardingEngine::Params params = CacheParams();
+  params.cache_capacity = 100000;
+  params.slow_path_cost = Duration::Millis(5);
+  params.cpu_queue_limit = Duration::Millis(20);
+  ForwardingEngine fwd(params);
+  fwd.OnRouteChange(P("10.0.0.0/8"), IPv4Address(1, 1, 1, 1), T(0));
+
+  // A burst of distinct-destination packets at one instant: the first few
+  // misses queue (4 * 5 ms fills the 20 ms bound), the rest drop.
+  int delivered = 0, dropped = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    if (fwd.Forward(IPv4Address((10u << 24) | (i << 8) | 1), T(1))) {
+      ++delivered;
+    } else {
+      ++dropped;
+    }
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_GT(delivered, 0);
+  EXPECT_EQ(fwd.stats().drops, static_cast<std::uint64_t>(dropped));
+  // Once the CPU drains, misses are accepted again.
+  EXPECT_TRUE(fwd.Forward(IPv4Address(10, 200, 0, 1), T(10)));
+}
+
+TEST(ForwardingEngine, FullTableArchitectureImmuneToChurn) {
+  ForwardingEngine::Params params;
+  params.architecture = ForwardingArchitecture::kFullTable;
+  ForwardingEngine fwd(params);
+  fwd.OnRouteChange(P("10.0.0.0/8"), IPv4Address(1, 1, 1, 1), T(0));
+
+  // Interleave heavy route churn with forwarding: zero misses, zero drops.
+  for (int i = 0; i < 1000; ++i) {
+    fwd.OnRouteChange(P("10.55.0.0/16"),
+                      IPv4Address(1, 1, 1, static_cast<std::uint8_t>(i)),
+                      T(i * 0.001));
+    EXPECT_TRUE(fwd.Forward(IPv4Address(10, 55, 1, 1), T(i * 0.001)));
+  }
+  EXPECT_EQ(fwd.stats().misses, 0u);
+  EXPECT_EQ(fwd.stats().drops, 0u);
+  EXPECT_EQ(fwd.stats().fast_path, 1000u);
+}
+
+// Property: under random traffic with a stable FIB, the engine never drops
+// (the CPU keeps up with a normal working set) and the cache obeys its
+// capacity bound.
+class ForwardingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForwardingFuzz, StableFibNeverDropsWithinBounds) {
+  Rng rng(GetParam());
+  ForwardingEngine::Params params = CacheParams();
+  params.cache_capacity = 256;
+  ForwardingEngine fwd(params);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    fwd.OnRouteChange(Prefix(IPv4Address((10u << 24) | (i << 16)), 16),
+                      IPv4Address(1, 1, 1, 1), T(0));
+  }
+  TimePoint now = T(1);
+  for (int i = 0; i < 20000; ++i) {
+    now += Duration::Micros(100);  // 10k packets/s
+    const IPv4Address dst((10u << 24) |
+                          (static_cast<std::uint32_t>(rng.Below(64)) << 16) |
+                          (static_cast<std::uint32_t>(rng.Below(128)) << 8) |
+                          1u);
+    EXPECT_TRUE(fwd.Forward(dst, now));
+    EXPECT_LE(fwd.cache_size(), params.cache_capacity);
+  }
+  EXPECT_EQ(fwd.stats().drops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForwardingFuzz, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace iri::sim

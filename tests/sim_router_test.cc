@@ -1,0 +1,506 @@
+// Router-level behaviour: propagation, split horizon, loop prevention,
+// stateless vs stateful pathology, session loss, dumps, dampening, CPU
+// crash — small hand-built topologies.
+#include "sim/router.h"
+
+#include <gtest/gtest.h>
+
+#include "core/event.h"
+
+namespace iri::sim {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+bgp::Route LocalRoute(const std::string& prefix,
+                      std::vector<bgp::Asn> downstream = {}) {
+  bgp::Route r;
+  r.prefix = P(prefix);
+  r.attributes.origin = bgp::Origin::kIgp;
+  r.attributes.as_path = bgp::AsPath::Sequence(std::move(downstream));
+  return r;
+}
+
+// A small hand-wired network of routers.
+class Net {
+ public:
+  Router& AddRouter(const std::string& name, bgp::Asn asn,
+                    RouterConfig overrides = {}) {
+    RouterConfig cfg = overrides;
+    cfg.name = name;
+    cfg.asn = asn;
+    cfg.router_id = IPv4Address(10, 0, 0, static_cast<std::uint8_t>(asn));
+    cfg.interface_addr = IPv4Address(10, 1, 0, static_cast<std::uint8_t>(asn));
+    if (cfg.packer.interval == Duration::Seconds(30)) {
+      // Snappy flushes by default in tests; periodicity tests override.
+      cfg.packer.interval = Duration::Seconds(1);
+      cfg.packer.discipline = bgp::TimerDiscipline::kUnjittered;
+    }
+    routers.push_back(std::make_unique<Router>(sched, cfg, seed_++));
+    return *routers.back();
+  }
+
+  Link& Connect(Router& a, Router& b,
+                bgp::Policy a_export = bgp::Policy::AcceptAll(),
+                bgp::Policy b_export = bgp::Policy::AcceptAll()) {
+    links.push_back(std::make_unique<Link>(sched, Duration::Millis(1)));
+    Link& link = *links.back();
+    a.AttachLink(link, /*side_a=*/true, b.config().asn,
+                 bgp::Policy::AcceptAll(), std::move(a_export));
+    b.AttachLink(link, /*side_a=*/false, a.config().asn,
+                 bgp::Policy::AcceptAll(), std::move(b_export));
+    return link;
+  }
+
+  void Start() {
+    for (auto& link : links) link->Restore();
+    Settle();
+  }
+
+  void Settle(Duration extra = Duration::Seconds(5)) {
+    sched.RunUntil(sched.Now() + extra);
+  }
+
+  Scheduler sched;
+  std::vector<std::unique_ptr<Router>> routers;
+  std::vector<std::unique_ptr<Link>> links;
+
+ private:
+  std::uint64_t seed_ = 1;
+};
+
+TEST(Router, SessionEstablishes) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  net.Connect(a, b);
+  net.Start();
+  EXPECT_EQ(a.PeerSessionState(0), bgp::SessionState::kEstablished);
+  EXPECT_EQ(b.PeerSessionState(0), bgp::SessionState::kEstablished);
+  EXPECT_EQ(a.stats().session_ups, 1u);
+}
+
+TEST(Router, RoutePropagatesWithPrependAndNextHop) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  net.Connect(a, b);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+
+  const auto* best = b.rib().Best(P("192.42.113.0/24"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attributes.as_path.ToString(), "100");
+  EXPECT_EQ(best->attributes.next_hop, a.config().interface_addr);
+  // eBGP: LOCAL_PREF must not leak.
+  EXPECT_FALSE(best->attributes.local_pref.has_value());
+}
+
+TEST(Router, DownstreamAsPathPreserved) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  net.Connect(a, b);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24", {64512}));  // customer AS
+  net.Settle();
+  const auto* best = b.rib().Best(P("192.42.113.0/24"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attributes.as_path.ToString(), "100 64512");
+}
+
+TEST(Router, WithdrawalPropagates) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  net.Connect(a, b);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  ASSERT_NE(b.rib().Best(P("192.42.113.0/24")), nullptr);
+  a.WithdrawLocal(P("192.42.113.0/24"));
+  net.Settle();
+  EXPECT_EQ(b.rib().Best(P("192.42.113.0/24")), nullptr);
+}
+
+TEST(Router, TransitThroughMiddleRouter) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  Router& c = net.AddRouter("C", 300);
+  net.Connect(a, b);
+  net.Connect(b, c);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  const auto* best = c.rib().Best(P("192.42.113.0/24"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attributes.as_path.ToString(), "200 100");
+  EXPECT_EQ(best->attributes.next_hop, b.config().interface_addr);
+}
+
+TEST(Router, SplitHorizonDoesNotEchoRoute) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  net.Connect(a, b);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  // A must not hear its own route back (B applies split horizon and
+  // sender-side loop avoidance).
+  EXPECT_EQ(a.rib().CandidatesFor(P("192.42.113.0/24")).size(), 1u);
+  EXPECT_EQ(a.stats().loops_rejected, 0u);
+}
+
+TEST(Router, RingTopologyConvergesWithoutLoops) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  Router& c = net.AddRouter("C", 300);
+  net.Connect(a, b);
+  net.Connect(b, c);
+  net.Connect(c, a);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle(Duration::Seconds(30));
+
+  // Everyone converges; C prefers the direct path via A.
+  const auto* c_best = c.rib().Best(P("192.42.113.0/24"));
+  ASSERT_NE(c_best, nullptr);
+  EXPECT_EQ(c_best->attributes.as_path.ToString(), "100");
+  // The ring must quiesce: no persistent oscillation.
+  const auto executed = net.sched.executed();
+  net.Settle(Duration::Minutes(5));
+  // Only keepalive-ish activity may continue.
+  EXPECT_LT(net.sched.executed() - executed, 200u);
+}
+
+TEST(Router, SessionLossWithdrawsLearnedRoutes) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  Router& c = net.AddRouter("C", 300);
+  Link& ab = net.Connect(a, b);
+  net.Connect(b, c);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  ASSERT_NE(c.rib().Best(P("192.42.113.0/24")), nullptr);
+
+  ab.Fail();
+  net.Settle();
+  EXPECT_EQ(b.rib().Best(P("192.42.113.0/24")), nullptr);
+  EXPECT_EQ(c.rib().Best(P("192.42.113.0/24")), nullptr);
+  EXPECT_GE(b.stats().session_downs, 1u);
+}
+
+TEST(Router, FullDumpOnSessionRecovery) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  Link& ab = net.Connect(a, b);
+  net.Start();
+  for (int i = 0; i < 10; ++i) {
+    a.Originate(LocalRoute("10." + std::to_string(i) + ".0.0/16"));
+  }
+  net.Settle();
+  ASSERT_EQ(b.rib().NumPrefixes(), 10u);
+
+  ab.Fail();
+  net.Settle();
+  EXPECT_EQ(b.rib().NumPrefixes(), 0u);
+
+  ab.Restore();
+  net.Settle(Duration::Minutes(1));
+  EXPECT_EQ(b.rib().NumPrefixes(), 10u);
+}
+
+TEST(Router, MultihomedFailover) {
+  // C hears 192.42.113/24 via both A (short) and B (long); when A's copy
+  // goes away C fails over to B's.
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  Router& c = net.AddRouter("C", 300);
+  net.Connect(a, c);
+  net.Connect(b, c);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  b.Originate(LocalRoute("192.42.113.0/24", {64512}));
+  net.Settle();
+  ASSERT_EQ(c.rib().CandidatesFor(P("192.42.113.0/24")).size(), 2u);
+  EXPECT_EQ(c.rib().Best(P("192.42.113.0/24"))->attributes.as_path.ToString(),
+            "100");
+
+  a.WithdrawLocal(P("192.42.113.0/24"));
+  net.Settle();
+  const auto* best = c.rib().Best(P("192.42.113.0/24"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attributes.as_path.ToString(), "200 64512");
+}
+
+// --- the paper's §4.2 pathology: stateless vs stateful ---
+
+struct TapCounter {
+  std::uint64_t announced = 0, withdrawn = 0;
+
+  void Attach(Router& router) {
+    router.SetUpdateTap([this](TimePoint, bgp::PeerId, bgp::Asn,
+                               const bgp::UpdateMessage& u) {
+      announced += u.nlri.size();
+      withdrawn += u.withdrawn.size();
+    });
+  }
+};
+
+RouterConfig Stateless() {
+  RouterConfig cfg;
+  cfg.stateless_bgp = true;
+  return cfg;
+}
+
+TEST(Router, StatelessSpraysWithdrawalsForUnannouncedPrefixes) {
+  // B's export policy hides the route from C; B is stateless, so the
+  // withdrawal still reaches C — the WWDup mechanism.
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200, Stateless());
+  Router& c = net.AddRouter("C", 300);
+  net.Connect(a, b);
+  bgp::Policy deny_all_exports = bgp::Policy::DenyAll();
+  net.Connect(b, c, /*a_export=*/std::move(deny_all_exports));
+  net.Start();
+
+  TapCounter c_tap;
+  c_tap.Attach(c);
+
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  EXPECT_EQ(c_tap.announced, 0u);  // policy hid the announcement
+
+  a.WithdrawLocal(P("192.42.113.0/24"));
+  net.Settle();
+  EXPECT_GE(c_tap.withdrawn, 1u);  // ...but the withdrawal leaked through
+}
+
+TEST(Router, StatefulSuppressesWithdrawalsForUnannouncedPrefixes) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);  // stateful
+  Router& c = net.AddRouter("C", 300);
+  net.Connect(a, b);
+  net.Connect(b, c, bgp::Policy::DenyAll());
+  net.Start();
+
+  TapCounter c_tap;
+  c_tap.Attach(c);
+
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  a.WithdrawLocal(P("192.42.113.0/24"));
+  net.Settle();
+  EXPECT_EQ(c_tap.announced, 0u);
+  EXPECT_EQ(c_tap.withdrawn, 0u);  // Adj-RIB-Out check killed the WWDup
+}
+
+TEST(Router, StatefulSuppressesDuplicateAnnouncements) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  net.Connect(a, b);
+  net.Start();
+  TapCounter b_tap;
+  b_tap.Attach(b);
+
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  const auto first = b_tap.announced;
+  EXPECT_EQ(first, 1u);
+  // Re-originating the identical route must not emit a duplicate.
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  EXPECT_EQ(b_tap.announced, first);
+}
+
+TEST(Router, StatelessEmitsDuplicateAfterA1A2A1Oscillation) {
+  // The paper's §4.2 sequence: announcements A1, A2, A1 inside one flush
+  // window net out to A1 — which a stateless router re-sends even though
+  // the peer already holds A1 (AADup); a stateful router stays silent.
+  for (bool stateless : {true, false}) {
+    Net net;
+    RouterConfig cfg = stateless ? Stateless() : RouterConfig{};
+    cfg.packer.interval = Duration::Seconds(10);
+    cfg.packer.discipline = bgp::TimerDiscipline::kUnjittered;
+    Router& a = net.AddRouter("A", 100, cfg);
+    Router& b = net.AddRouter("B", 200);
+    net.Connect(a, b);
+    net.Start();
+    TapCounter b_tap;
+    b_tap.Attach(b);
+
+    a.Originate(LocalRoute("192.42.113.0/24"));  // A1
+    net.Settle(Duration::Seconds(15));
+    ASSERT_EQ(b_tap.announced, 1u);
+
+    // A1 -> A2 -> A1 within one 10 s window.
+    a.Originate(LocalRoute("192.42.113.0/24", {64512}));  // A2
+    a.Originate(LocalRoute("192.42.113.0/24"));           // back to A1
+    net.Settle(Duration::Seconds(15));
+    if (stateless) {
+      EXPECT_EQ(b_tap.announced, 2u) << "duplicate A1 expected";
+    } else {
+      EXPECT_EQ(b_tap.announced, 1u) << "stateful coalesces to silence";
+    }
+  }
+}
+
+TEST(Router, InternalResetVisibleOnlyWhenStateless) {
+  for (bool stateless : {false, true}) {
+    Net net;
+    Router& a = net.AddRouter("A", 100,
+                              stateless ? Stateless() : RouterConfig{});
+    Router& b = net.AddRouter("B", 200);
+    net.Connect(a, b);
+    net.Start();
+    TapCounter b_tap;
+    b_tap.Attach(b);
+    a.Originate(LocalRoute("192.42.113.0/24"));
+    net.Settle();
+    const auto base_announced = b_tap.announced;
+
+    a.InternalReset();
+    net.Settle();
+    if (stateless) {
+      EXPECT_GT(b_tap.announced, base_announced) << "AADup expected";
+    } else {
+      EXPECT_EQ(b_tap.announced, base_announced) << "coalesced to silence";
+      EXPECT_EQ(b_tap.withdrawn, 0u);
+    }
+  }
+}
+
+TEST(Router, SprayWithdrawalsNoOpWhenStateful) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  net.Connect(a, b);
+  net.Start();
+  TapCounter b_tap;
+  b_tap.Attach(b);
+  const std::vector<Prefix> targets = {P("1.0.0.0/8"), P("2.0.0.0/8")};
+  a.SprayWithdrawals(targets);
+  net.Settle();
+  EXPECT_EQ(b_tap.withdrawn, 0u);
+}
+
+TEST(Router, TransparentModeKeepsPathAndNextHop) {
+  Net net;
+  RouterConfig rs_cfg;
+  rs_cfg.transparent = true;
+  Router& a = net.AddRouter("A", 100);
+  Router& rs = net.AddRouter("RS", 7, rs_cfg);
+  Router& b = net.AddRouter("B", 300);
+  net.Connect(a, rs);
+  net.Connect(rs, b);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  const auto* best = b.rib().Best(P("192.42.113.0/24"));
+  ASSERT_NE(best, nullptr);
+  // The route server adds no AS hop and keeps A's next hop.
+  EXPECT_EQ(best->attributes.as_path.ToString(), "100");
+  EXPECT_EQ(best->attributes.next_hop, a.config().interface_addr);
+}
+
+TEST(Router, NoReexportCollectsButStaysSilent) {
+  Net net;
+  RouterConfig rs_cfg;
+  rs_cfg.transparent = true;
+  rs_cfg.no_reexport = true;
+  Router& a = net.AddRouter("A", 100);
+  Router& rs = net.AddRouter("RS", 7, rs_cfg);
+  Router& b = net.AddRouter("B", 300);
+  net.Connect(a, rs);
+  net.Connect(rs, b);
+  net.Start();
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  EXPECT_NE(rs.rib().Best(P("192.42.113.0/24")), nullptr);
+  EXPECT_EQ(b.rib().Best(P("192.42.113.0/24")), nullptr);
+}
+
+TEST(Router, DampeningSuppressesFlappingRoute) {
+  Net net;
+  RouterConfig damp_cfg;
+  damp_cfg.enable_dampening = true;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200, damp_cfg);
+  net.Connect(a, b);
+  net.Start();
+
+  // Flap hard: announce/withdraw repeatedly with alternating paths (each
+  // re-announcement is an attribute change, accumulating penalty).
+  for (int i = 0; i < 12; ++i) {
+    a.Originate(LocalRoute("192.42.113.0/24",
+                           i % 2 ? std::vector<bgp::Asn>{64512}
+                                 : std::vector<bgp::Asn>{}));
+    net.Settle(Duration::Seconds(3));
+  }
+  EXPECT_GT(b.stats().damped_updates, 0u);
+  // While suppressed, B does not use the route.
+  EXPECT_EQ(b.rib().Best(P("192.42.113.0/24")), nullptr);
+}
+
+TEST(Router, CrashesUnderUpdateLoadAndReboots) {
+  Net net;
+  RouterConfig frail;
+  frail.crash_backlog = Duration::Millis(300);
+  frail.cost_per_prefix = Duration::Millis(2);
+  frail.reboot_time = Duration::Seconds(30);
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200, frail);
+  net.Connect(a, b);
+  net.Start();
+
+  // Blast updates: 500 prefixes at 2 ms each = 1 s of backlog >> 300 ms.
+  for (int i = 0; i < 500; ++i) {
+    a.Originate(LocalRoute("10." + std::to_string(i / 250) + "." +
+                           std::to_string(i % 250) + ".0/24"));
+  }
+  net.Settle(Duration::Seconds(10));
+  EXPECT_GE(b.stats().crashes, 1u);
+
+  // While the table stays huge, every reboot re-triggers the crash: the
+  // paper's route-flap-storm crashloop. Shrink the table so the re-dump
+  // fits the router's capacity, then recovery must succeed.
+  for (int i = 40; i < 500; ++i) {
+    a.WithdrawLocal(P("10." + std::to_string(i / 250) + "." +
+                      std::to_string(i % 250) + ".0/24"));
+  }
+  net.Settle(Duration::Minutes(10));
+  EXPECT_FALSE(b.crashed());
+  EXPECT_EQ(b.PeerSessionState(0), bgp::SessionState::kEstablished);
+  EXPECT_EQ(b.rib().NumPrefixes(), 40u);
+}
+
+TEST(Router, UpdateTapSeesInboundUpdates) {
+  Net net;
+  Router& a = net.AddRouter("A", 100);
+  Router& b = net.AddRouter("B", 200);
+  net.Connect(a, b);
+  net.Start();
+
+  std::vector<bgp::Asn> tap_asns;
+  b.SetUpdateTap([&tap_asns](TimePoint, bgp::PeerId, bgp::Asn asn,
+                             const bgp::UpdateMessage&) {
+    tap_asns.push_back(asn);
+  });
+  a.Originate(LocalRoute("192.42.113.0/24"));
+  net.Settle();
+  ASSERT_FALSE(tap_asns.empty());
+  EXPECT_EQ(tap_asns[0], 100u);
+}
+
+}  // namespace
+}  // namespace iri::sim

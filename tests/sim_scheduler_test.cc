@@ -1,0 +1,98 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iri::sim {
+namespace {
+
+TimePoint T(double seconds) {
+  return TimePoint::Origin() + Duration::Seconds(seconds);
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.At(T(3), [&order] { order.push_back(3); });
+  sched.At(T(1), [&order] { order.push_back(1); });
+  sched.At(T(2), [&order] { order.push_back(2); });
+  sched.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), T(3));
+}
+
+TEST(Scheduler, SimultaneousEventsAreFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.At(T(1), [&order, i] { order.push_back(i); });
+  }
+  sched.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, AfterIsRelativeToNow) {
+  Scheduler sched;
+  TimePoint fired;
+  sched.At(T(5), [&sched, &fired] {
+    sched.After(Duration::Seconds(2), [&sched, &fired] { fired = sched.Now(); });
+  });
+  sched.RunAll();
+  EXPECT_EQ(fired, T(7));
+}
+
+TEST(Scheduler, PastSchedulingClampsToNow) {
+  Scheduler sched;
+  TimePoint fired;
+  sched.At(T(10), [&sched, &fired] {
+    sched.At(T(1), [&sched, &fired] { fired = sched.Now(); });  // in the past
+  });
+  sched.RunAll();
+  EXPECT_EQ(fired, T(10));  // never rewinds
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  int fired = 0;
+  sched.At(T(1), [&fired] { ++fired; });
+  sched.At(T(5), [&fired] { ++fired; });
+  sched.RunUntil(T(3));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.Now(), T(3));
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.RunUntil(T(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, RunUntilIncludesBoundaryEvents) {
+  Scheduler sched;
+  int fired = 0;
+  sched.At(T(3), [&fired] { ++fired; });
+  sched.RunUntil(T(3));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.Step());
+  sched.At(T(1), [] {});
+  EXPECT_TRUE(sched.Step());
+  EXPECT_FALSE(sched.Step());
+}
+
+TEST(Scheduler, TasksCanScheduleTasks) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sched.After(Duration::Seconds(1), recurse);
+  };
+  sched.At(T(0), recurse);
+  sched.RunAll();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sched.Now(), T(99));
+  EXPECT_EQ(sched.executed(), 100u);
+}
+
+}  // namespace
+}  // namespace iri::sim

@@ -1,0 +1,97 @@
+#include "workload/usage.h"
+
+#include <gtest/gtest.h>
+
+namespace iri::workload {
+namespace {
+
+TimePoint At(int day, double hour) {
+  return TimePoint::Origin() + Duration::Days(day) + Duration::Hours(hour);
+}
+
+TEST(UsageModel, DayZeroIsSaturday) {
+  EXPECT_EQ(UsageModel::DayOfWeek(At(0, 12)), 0);
+  EXPECT_EQ(UsageModel::DayOfWeek(At(1, 12)), 1);  // Sunday
+  EXPECT_EQ(UsageModel::DayOfWeek(At(7, 12)), 0);  // Saturday again
+}
+
+TEST(UsageModel, HourOfDay) {
+  EXPECT_DOUBLE_EQ(UsageModel::HourOfDay(At(3, 14.5)), 14.5);
+  EXPECT_DOUBLE_EQ(UsageModel::HourOfDay(At(0, 0)), 0.0);
+}
+
+TEST(UsageModel, BusinessHoursBusierThanNight) {
+  UsageModel model({});
+  // Compare a Tuesday (day 3) afternoon against its pre-dawn trough.
+  EXPECT_GT(model.Level(At(3, 14)), 2.5 * model.Level(At(3, 3)));
+}
+
+TEST(UsageModel, NoonToMidnightDensestBand) {
+  // The paper: "from noon to midnight are the densest hours".
+  UsageModel model({});
+  const double afternoon = model.Level(At(3, 15));
+  const double morning = model.Level(At(3, 7));
+  EXPECT_GT(afternoon, morning);
+}
+
+TEST(UsageModel, WeekendsQuieterThanWeekdays) {
+  UsageModel model({});
+  const double saturday = model.Level(At(0, 14));
+  const double sunday = model.Level(At(1, 14));
+  const double tuesday = model.Level(At(3, 14));
+  EXPECT_LT(saturday, 0.7 * tuesday);
+  EXPECT_LT(sunday, saturday);  // Sunday is the quietest
+}
+
+TEST(UsageModel, LinearTrendGrows) {
+  UsageModel model({});
+  const double early = model.Level(At(3, 14));
+  const double late = model.Level(At(3 + 140, 14));  // same weekday, +20 wks
+  EXPECT_NEAR(late / early, 1.0 + 0.004 * 140, 0.02);
+}
+
+TEST(UsageModel, SummerEveningsDamped) {
+  UsageConfig cfg;
+  cfg.summer_start_day = 100;
+  cfg.summer_end_day = 120;
+  cfg.trend_per_day = 0.0;  // isolate the seasonal effect
+  UsageModel model(cfg);
+  // Same weekday/hour inside vs outside the summer window.
+  const double summer = model.Level(At(110, 20));  // day 110 % 7 == 5: weekday
+  const double autumn = model.Level(At(131, 20));  // day 131 % 7 == 5
+  EXPECT_NEAR(summer / autumn, cfg.summer_evening_factor, 0.02);
+  // Mornings are unaffected.
+  EXPECT_NEAR(model.Level(At(110, 9)) / model.Level(At(131, 9)), 1.0, 0.02);
+}
+
+TEST(UsageModel, HolidaysBehaveLikeQuietDays) {
+  UsageConfig cfg;
+  cfg.holiday_days = {94};  // a Thursday
+  cfg.trend_per_day = 0.0;
+  UsageModel model(cfg);
+  const double holiday = model.Level(At(94, 14));
+  const double normal_thursday = model.Level(At(87, 14));
+  EXPECT_NEAR(holiday / normal_thursday, cfg.holiday_factor, 0.02);
+}
+
+TEST(UsageModel, MaxLevelBoundsObservedLevels) {
+  UsageModel model({});
+  const Duration horizon = Duration::Days(210);
+  const double envelope = model.MaxLevel(horizon);
+  for (int day = 0; day < 210; day += 3) {
+    for (double hour = 0; hour < 24; hour += 0.5) {
+      EXPECT_LE(model.Level(At(day, hour)), envelope + 1e-9)
+          << "day " << day << " hour " << hour;
+    }
+  }
+}
+
+TEST(UsageModel, LevelIsContinuousAcrossHourBoundaries) {
+  UsageModel model({});
+  const double before = model.Level(At(3, 13.999));
+  const double after = model.Level(At(3, 14.001));
+  EXPECT_NEAR(before, after, 0.01);
+}
+
+}  // namespace
+}  // namespace iri::workload
