@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_aggregation.dir/ablate_aggregation.cc.o"
+  "CMakeFiles/ablate_aggregation.dir/ablate_aggregation.cc.o.d"
+  "ablate_aggregation"
+  "ablate_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dampening.dir/ablate_dampening.cc.o"
+  "CMakeFiles/ablate_dampening.dir/ablate_dampening.cc.o.d"
+  "ablate_dampening"
+  "ablate_dampening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dampening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_route_cache.dir/ablate_route_cache.cc.o"
+  "CMakeFiles/ablate_route_cache.dir/ablate_route_cache.cc.o.d"
+  "ablate_route_cache"
+  "ablate_route_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_route_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

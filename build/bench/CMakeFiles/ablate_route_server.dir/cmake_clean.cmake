@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_route_server.dir/ablate_route_server.cc.o"
+  "CMakeFiles/ablate_route_server.dir/ablate_route_server.cc.o.d"
+  "ablate_route_server"
+  "ablate_route_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_route_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_self_sync.dir/ablate_self_sync.cc.o"
+  "CMakeFiles/ablate_self_sync.dir/ablate_self_sync.cc.o.d"
+  "ablate_self_sync"
+  "ablate_self_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_self_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

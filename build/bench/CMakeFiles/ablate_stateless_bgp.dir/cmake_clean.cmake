@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_stateless_bgp.dir/ablate_stateless_bgp.cc.o"
+  "CMakeFiles/ablate_stateless_bgp.dir/ablate_stateless_bgp.cc.o.d"
+  "ablate_stateless_bgp"
+  "ablate_stateless_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_stateless_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_timer_jitter.dir/ablate_timer_jitter.cc.o"
+  "CMakeFiles/ablate_timer_jitter.dir/ablate_timer_jitter.cc.o.d"
+  "ablate_timer_jitter"
+  "ablate_timer_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_timer_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

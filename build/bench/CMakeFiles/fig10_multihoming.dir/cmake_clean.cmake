@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multihoming.dir/fig10_multihoming.cc.o"
+  "CMakeFiles/fig10_multihoming.dir/fig10_multihoming.cc.o.d"
+  "fig10_multihoming"
+  "fig10_multihoming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multihoming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

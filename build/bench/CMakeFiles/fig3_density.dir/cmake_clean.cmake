@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_density.dir/fig3_density.cc.o"
+  "CMakeFiles/fig3_density.dir/fig3_density.cc.o.d"
+  "fig3_density"
+  "fig3_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_week.dir/fig4_week.cc.o"
+  "CMakeFiles/fig4_week.dir/fig4_week.cc.o.d"
+  "fig4_week"
+  "fig4_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

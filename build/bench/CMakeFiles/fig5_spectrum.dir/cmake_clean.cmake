@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_spectrum.dir/fig5_spectrum.cc.o"
+  "CMakeFiles/fig5_spectrum.dir/fig5_spectrum.cc.o.d"
+  "fig5_spectrum"
+  "fig5_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

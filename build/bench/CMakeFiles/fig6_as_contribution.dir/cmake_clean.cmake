@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_as_contribution.dir/fig6_as_contribution.cc.o"
+  "CMakeFiles/fig6_as_contribution.dir/fig6_as_contribution.cc.o.d"
+  "fig6_as_contribution"
+  "fig6_as_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_as_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_prefixas_cdf.dir/fig7_prefixas_cdf.cc.o"
+  "CMakeFiles/fig7_prefixas_cdf.dir/fig7_prefixas_cdf.cc.o.d"
+  "fig7_prefixas_cdf"
+  "fig7_prefixas_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_prefixas_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_interarrival.dir/fig8_interarrival.cc.o"
+  "CMakeFiles/fig8_interarrival.dir/fig8_interarrival.cc.o.d"
+  "fig8_interarrival"
+  "fig8_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

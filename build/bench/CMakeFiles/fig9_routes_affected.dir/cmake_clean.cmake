@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_routes_affected.dir/fig9_routes_affected.cc.o"
+  "CMakeFiles/fig9_routes_affected.dir/fig9_routes_affected.cc.o.d"
+  "fig9_routes_affected"
+  "fig9_routes_affected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_routes_affected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_cross_exchange.dir/obs_cross_exchange.cc.o"
+  "CMakeFiles/obs_cross_exchange.dir/obs_cross_exchange.cc.o.d"
+  "obs_cross_exchange"
+  "obs_cross_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_cross_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_gross_volume.dir/obs_gross_volume.cc.o"
+  "CMakeFiles/obs_gross_volume.dir/obs_gross_volume.cc.o.d"
+  "obs_gross_volume"
+  "obs_gross_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_gross_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_stateful_deployment.dir/obs_stateful_deployment.cc.o"
+  "CMakeFiles/obs_stateful_deployment.dir/obs_stateful_deployment.cc.o.d"
+  "obs_stateful_deployment"
+  "obs_stateful_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_stateful_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_table_composition.dir/obs_table_composition.cc.o"
+  "CMakeFiles/obs_table_composition.dir/obs_table_composition.cc.o.d"
+  "obs_table_composition"
+  "obs_table_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_table_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

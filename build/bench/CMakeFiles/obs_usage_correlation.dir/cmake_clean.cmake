@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_usage_correlation.dir/obs_usage_correlation.cc.o"
+  "CMakeFiles/obs_usage_correlation.dir/obs_usage_correlation.cc.o.d"
+  "obs_usage_correlation"
+  "obs_usage_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_usage_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

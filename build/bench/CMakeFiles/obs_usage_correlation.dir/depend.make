@@ -1,0 +1,2 @@
+# Empty dependencies file for obs_usage_correlation.
+# This may be replaced when dependencies are built.

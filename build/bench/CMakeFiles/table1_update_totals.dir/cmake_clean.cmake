@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_update_totals.dir/table1_update_totals.cc.o"
+  "CMakeFiles/table1_update_totals.dir/table1_update_totals.cc.o.d"
+  "table1_update_totals"
+  "table1_update_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_update_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

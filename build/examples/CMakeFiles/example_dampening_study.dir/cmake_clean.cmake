@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dampening_study.dir/dampening_study.cpp.o"
+  "CMakeFiles/example_dampening_study.dir/dampening_study.cpp.o.d"
+  "example_dampening_study"
+  "example_dampening_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dampening_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_exchange_monitor.dir/exchange_monitor.cpp.o"
+  "CMakeFiles/example_exchange_monitor.dir/exchange_monitor.cpp.o.d"
+  "example_exchange_monitor"
+  "example_exchange_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_exchange_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

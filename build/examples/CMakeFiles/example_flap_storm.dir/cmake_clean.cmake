@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flap_storm.dir/flap_storm.cpp.o"
+  "CMakeFiles/example_flap_storm.dir/flap_storm.cpp.o.d"
+  "example_flap_storm"
+  "example_flap_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flap_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

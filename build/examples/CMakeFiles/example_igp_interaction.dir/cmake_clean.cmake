@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_igp_interaction.dir/igp_interaction.cpp.o"
+  "CMakeFiles/example_igp_interaction.dir/igp_interaction.cpp.o.d"
+  "example_igp_interaction"
+  "example_igp_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_igp_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_oscillation.dir/policy_oscillation.cpp.o"
+  "CMakeFiles/example_policy_oscillation.dir/policy_oscillation.cpp.o.d"
+  "example_policy_oscillation"
+  "example_policy_oscillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

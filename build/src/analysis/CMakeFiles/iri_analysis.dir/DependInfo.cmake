@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/series.cc" "src/analysis/CMakeFiles/iri_analysis.dir/series.cc.o" "gcc" "src/analysis/CMakeFiles/iri_analysis.dir/series.cc.o.d"
+  "/root/repo/src/analysis/spectrum.cc" "src/analysis/CMakeFiles/iri_analysis.dir/spectrum.cc.o" "gcc" "src/analysis/CMakeFiles/iri_analysis.dir/spectrum.cc.o.d"
+  "/root/repo/src/analysis/ssa.cc" "src/analysis/CMakeFiles/iri_analysis.dir/ssa.cc.o" "gcc" "src/analysis/CMakeFiles/iri_analysis.dir/ssa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/iri_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

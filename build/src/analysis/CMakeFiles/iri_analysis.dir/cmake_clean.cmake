@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_analysis.dir/series.cc.o"
+  "CMakeFiles/iri_analysis.dir/series.cc.o.d"
+  "CMakeFiles/iri_analysis.dir/spectrum.cc.o"
+  "CMakeFiles/iri_analysis.dir/spectrum.cc.o.d"
+  "CMakeFiles/iri_analysis.dir/ssa.cc.o"
+  "CMakeFiles/iri_analysis.dir/ssa.cc.o.d"
+  "libiri_analysis.a"
+  "libiri_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

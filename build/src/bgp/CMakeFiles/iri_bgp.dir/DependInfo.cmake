@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/aggregation.cc" "src/bgp/CMakeFiles/iri_bgp.dir/aggregation.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/aggregation.cc.o.d"
+  "/root/repo/src/bgp/attributes.cc" "src/bgp/CMakeFiles/iri_bgp.dir/attributes.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/attributes.cc.o.d"
+  "/root/repo/src/bgp/dampening.cc" "src/bgp/CMakeFiles/iri_bgp.dir/dampening.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/dampening.cc.o.d"
+  "/root/repo/src/bgp/decision.cc" "src/bgp/CMakeFiles/iri_bgp.dir/decision.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/decision.cc.o.d"
+  "/root/repo/src/bgp/message.cc" "src/bgp/CMakeFiles/iri_bgp.dir/message.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/message.cc.o.d"
+  "/root/repo/src/bgp/path_regex.cc" "src/bgp/CMakeFiles/iri_bgp.dir/path_regex.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/path_regex.cc.o.d"
+  "/root/repo/src/bgp/policy.cc" "src/bgp/CMakeFiles/iri_bgp.dir/policy.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/policy.cc.o.d"
+  "/root/repo/src/bgp/rib.cc" "src/bgp/CMakeFiles/iri_bgp.dir/rib.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/rib.cc.o.d"
+  "/root/repo/src/bgp/session.cc" "src/bgp/CMakeFiles/iri_bgp.dir/session.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/session.cc.o.d"
+  "/root/repo/src/bgp/types.cc" "src/bgp/CMakeFiles/iri_bgp.dir/types.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/types.cc.o.d"
+  "/root/repo/src/bgp/update_packer.cc" "src/bgp/CMakeFiles/iri_bgp.dir/update_packer.cc.o" "gcc" "src/bgp/CMakeFiles/iri_bgp.dir/update_packer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/iri_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_bgp.dir/aggregation.cc.o"
+  "CMakeFiles/iri_bgp.dir/aggregation.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/attributes.cc.o"
+  "CMakeFiles/iri_bgp.dir/attributes.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/dampening.cc.o"
+  "CMakeFiles/iri_bgp.dir/dampening.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/decision.cc.o"
+  "CMakeFiles/iri_bgp.dir/decision.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/message.cc.o"
+  "CMakeFiles/iri_bgp.dir/message.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/path_regex.cc.o"
+  "CMakeFiles/iri_bgp.dir/path_regex.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/policy.cc.o"
+  "CMakeFiles/iri_bgp.dir/policy.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/rib.cc.o"
+  "CMakeFiles/iri_bgp.dir/rib.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/session.cc.o"
+  "CMakeFiles/iri_bgp.dir/session.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/types.cc.o"
+  "CMakeFiles/iri_bgp.dir/types.cc.o.d"
+  "CMakeFiles/iri_bgp.dir/update_packer.cc.o"
+  "CMakeFiles/iri_bgp.dir/update_packer.cc.o.d"
+  "libiri_bgp.a"
+  "libiri_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/iri_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/iri_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/iri_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/iri_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/iri_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/iri_core.dir/report.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/iri_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/iri_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/iri_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/iri_core.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/iri_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/iri_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/iri_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

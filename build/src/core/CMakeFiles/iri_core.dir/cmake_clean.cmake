@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_core.dir/classifier.cc.o"
+  "CMakeFiles/iri_core.dir/classifier.cc.o.d"
+  "CMakeFiles/iri_core.dir/monitor.cc.o"
+  "CMakeFiles/iri_core.dir/monitor.cc.o.d"
+  "CMakeFiles/iri_core.dir/report.cc.o"
+  "CMakeFiles/iri_core.dir/report.cc.o.d"
+  "CMakeFiles/iri_core.dir/snapshot.cc.o"
+  "CMakeFiles/iri_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/iri_core.dir/stats.cc.o"
+  "CMakeFiles/iri_core.dir/stats.cc.o.d"
+  "libiri_core.a"
+  "libiri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

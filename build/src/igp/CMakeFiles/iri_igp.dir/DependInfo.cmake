@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/igp/igp.cc" "src/igp/CMakeFiles/iri_igp.dir/igp.cc.o" "gcc" "src/igp/CMakeFiles/iri_igp.dir/igp.cc.o.d"
+  "/root/repo/src/igp/redistribution.cc" "src/igp/CMakeFiles/iri_igp.dir/redistribution.cc.o" "gcc" "src/igp/CMakeFiles/iri_igp.dir/redistribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/iri_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/iri_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

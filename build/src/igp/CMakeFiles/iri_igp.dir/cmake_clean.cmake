@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_igp.dir/igp.cc.o"
+  "CMakeFiles/iri_igp.dir/igp.cc.o.d"
+  "CMakeFiles/iri_igp.dir/redistribution.cc.o"
+  "CMakeFiles/iri_igp.dir/redistribution.cc.o.d"
+  "libiri_igp.a"
+  "libiri_igp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_igp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_mrt.dir/log.cc.o"
+  "CMakeFiles/iri_mrt.dir/log.cc.o.d"
+  "libiri_mrt.a"
+  "libiri_mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

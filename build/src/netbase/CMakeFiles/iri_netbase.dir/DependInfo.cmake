@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/bytes.cc" "src/netbase/CMakeFiles/iri_netbase.dir/bytes.cc.o" "gcc" "src/netbase/CMakeFiles/iri_netbase.dir/bytes.cc.o.d"
+  "/root/repo/src/netbase/crc32.cc" "src/netbase/CMakeFiles/iri_netbase.dir/crc32.cc.o" "gcc" "src/netbase/CMakeFiles/iri_netbase.dir/crc32.cc.o.d"
+  "/root/repo/src/netbase/ipv4.cc" "src/netbase/CMakeFiles/iri_netbase.dir/ipv4.cc.o" "gcc" "src/netbase/CMakeFiles/iri_netbase.dir/ipv4.cc.o.d"
+  "/root/repo/src/netbase/time.cc" "src/netbase/CMakeFiles/iri_netbase.dir/time.cc.o" "gcc" "src/netbase/CMakeFiles/iri_netbase.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

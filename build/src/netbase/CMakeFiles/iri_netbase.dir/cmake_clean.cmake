@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_netbase.dir/bytes.cc.o"
+  "CMakeFiles/iri_netbase.dir/bytes.cc.o.d"
+  "CMakeFiles/iri_netbase.dir/crc32.cc.o"
+  "CMakeFiles/iri_netbase.dir/crc32.cc.o.d"
+  "CMakeFiles/iri_netbase.dir/ipv4.cc.o"
+  "CMakeFiles/iri_netbase.dir/ipv4.cc.o.d"
+  "CMakeFiles/iri_netbase.dir/time.cc.o"
+  "CMakeFiles/iri_netbase.dir/time.cc.o.d"
+  "libiri_netbase.a"
+  "libiri_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

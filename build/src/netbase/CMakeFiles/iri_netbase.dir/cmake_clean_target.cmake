@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiri_netbase.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/forwarding.cc" "src/sim/CMakeFiles/iri_sim.dir/forwarding.cc.o" "gcc" "src/sim/CMakeFiles/iri_sim.dir/forwarding.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/sim/CMakeFiles/iri_sim.dir/link.cc.o" "gcc" "src/sim/CMakeFiles/iri_sim.dir/link.cc.o.d"
+  "/root/repo/src/sim/router.cc" "src/sim/CMakeFiles/iri_sim.dir/router.cc.o" "gcc" "src/sim/CMakeFiles/iri_sim.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/iri_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/iri_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

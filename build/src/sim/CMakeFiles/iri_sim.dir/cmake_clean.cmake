@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_sim.dir/forwarding.cc.o"
+  "CMakeFiles/iri_sim.dir/forwarding.cc.o.d"
+  "CMakeFiles/iri_sim.dir/link.cc.o"
+  "CMakeFiles/iri_sim.dir/link.cc.o.d"
+  "CMakeFiles/iri_sim.dir/router.cc.o"
+  "CMakeFiles/iri_sim.dir/router.cc.o.d"
+  "libiri_sim.a"
+  "libiri_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

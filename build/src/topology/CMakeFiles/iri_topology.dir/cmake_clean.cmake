@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_topology.dir/universe.cc.o"
+  "CMakeFiles/iri_topology.dir/universe.cc.o.d"
+  "libiri_topology.a"
+  "libiri_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

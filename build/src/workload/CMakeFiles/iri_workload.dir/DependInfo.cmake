@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/scenario.cc" "src/workload/CMakeFiles/iri_workload.dir/scenario.cc.o" "gcc" "src/workload/CMakeFiles/iri_workload.dir/scenario.cc.o.d"
+  "/root/repo/src/workload/usage.cc" "src/workload/CMakeFiles/iri_workload.dir/usage.cc.o" "gcc" "src/workload/CMakeFiles/iri_workload.dir/usage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/iri_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/iri_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/iri_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/iri_mrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

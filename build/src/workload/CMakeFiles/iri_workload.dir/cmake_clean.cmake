@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_workload.dir/scenario.cc.o"
+  "CMakeFiles/iri_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/iri_workload.dir/usage.cc.o"
+  "CMakeFiles/iri_workload.dir/usage.cc.o.d"
+  "libiri_workload.a"
+  "libiri_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_ssa_test.dir/analysis_ssa_test.cc.o"
+  "CMakeFiles/analysis_ssa_test.dir/analysis_ssa_test.cc.o.d"
+  "analysis_ssa_test"
+  "analysis_ssa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_ssa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_aggregation_test.dir/bgp_aggregation_test.cc.o"
+  "CMakeFiles/bgp_aggregation_test.dir/bgp_aggregation_test.cc.o.d"
+  "bgp_aggregation_test"
+  "bgp_aggregation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

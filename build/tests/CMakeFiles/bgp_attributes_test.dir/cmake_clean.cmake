@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_attributes_test.dir/bgp_attributes_test.cc.o"
+  "CMakeFiles/bgp_attributes_test.dir/bgp_attributes_test.cc.o.d"
+  "bgp_attributes_test"
+  "bgp_attributes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_attributes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_dampening_test.dir/bgp_dampening_test.cc.o"
+  "CMakeFiles/bgp_dampening_test.dir/bgp_dampening_test.cc.o.d"
+  "bgp_dampening_test"
+  "bgp_dampening_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_dampening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_message_test.dir/bgp_message_test.cc.o"
+  "CMakeFiles/bgp_message_test.dir/bgp_message_test.cc.o.d"
+  "bgp_message_test"
+  "bgp_message_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_path_regex_test.dir/bgp_path_regex_test.cc.o"
+  "CMakeFiles/bgp_path_regex_test.dir/bgp_path_regex_test.cc.o.d"
+  "bgp_path_regex_test"
+  "bgp_path_regex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_path_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

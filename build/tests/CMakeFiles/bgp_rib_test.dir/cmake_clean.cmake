@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_rib_test.dir/bgp_rib_test.cc.o"
+  "CMakeFiles/bgp_rib_test.dir/bgp_rib_test.cc.o.d"
+  "bgp_rib_test"
+  "bgp_rib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_rib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

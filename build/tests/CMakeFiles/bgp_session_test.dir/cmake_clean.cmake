@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_session_test.dir/bgp_session_test.cc.o"
+  "CMakeFiles/bgp_session_test.dir/bgp_session_test.cc.o.d"
+  "bgp_session_test"
+  "bgp_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_update_packer_test.dir/bgp_update_packer_test.cc.o"
+  "CMakeFiles/bgp_update_packer_test.dir/bgp_update_packer_test.cc.o.d"
+  "bgp_update_packer_test"
+  "bgp_update_packer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_update_packer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

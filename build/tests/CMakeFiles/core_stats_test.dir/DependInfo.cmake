@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_stats_test.cc" "tests/CMakeFiles/core_stats_test.dir/core_stats_test.cc.o" "gcc" "tests/CMakeFiles/core_stats_test.dir/core_stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iri_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/iri_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/igp/CMakeFiles/iri_igp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/iri_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/iri_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/iri_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/iri_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igp_test.dir/igp_test.cc.o"
+  "CMakeFiles/igp_test.dir/igp_test.cc.o.d"
+  "igp_test"
+  "igp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

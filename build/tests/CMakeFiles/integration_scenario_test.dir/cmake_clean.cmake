@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_scenario_test.dir/integration_scenario_test.cc.o"
+  "CMakeFiles/integration_scenario_test.dir/integration_scenario_test.cc.o.d"
+  "integration_scenario_test"
+  "integration_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrt_log_test.dir/mrt_log_test.cc.o"
+  "CMakeFiles/mrt_log_test.dir/mrt_log_test.cc.o.d"
+  "mrt_log_test"
+  "mrt_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrt_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase_bytes_test.dir/netbase_bytes_test.cc.o"
+  "CMakeFiles/netbase_bytes_test.dir/netbase_bytes_test.cc.o.d"
+  "netbase_bytes_test"
+  "netbase_bytes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase_bytes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

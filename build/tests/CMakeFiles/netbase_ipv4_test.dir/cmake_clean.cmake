@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase_ipv4_test.dir/netbase_ipv4_test.cc.o"
+  "CMakeFiles/netbase_ipv4_test.dir/netbase_ipv4_test.cc.o.d"
+  "netbase_ipv4_test"
+  "netbase_ipv4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase_ipv4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase_trie_test.dir/netbase_trie_test.cc.o"
+  "CMakeFiles/netbase_trie_test.dir/netbase_trie_test.cc.o.d"
+  "netbase_trie_test"
+  "netbase_trie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

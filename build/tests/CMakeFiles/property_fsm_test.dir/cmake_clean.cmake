@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_fsm_test.dir/property_fsm_test.cc.o"
+  "CMakeFiles/property_fsm_test.dir/property_fsm_test.cc.o.d"
+  "property_fsm_test"
+  "property_fsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_fsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_rib_test.dir/property_rib_test.cc.o"
+  "CMakeFiles/property_rib_test.dir/property_rib_test.cc.o.d"
+  "property_rib_test"
+  "property_rib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_rib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_forwarding_test.dir/sim_forwarding_test.cc.o"
+  "CMakeFiles/sim_forwarding_test.dir/sim_forwarding_test.cc.o.d"
+  "sim_forwarding_test"
+  "sim_forwarding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_forwarding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

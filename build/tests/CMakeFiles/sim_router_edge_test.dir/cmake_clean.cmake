@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_router_edge_test.dir/sim_router_edge_test.cc.o"
+  "CMakeFiles/sim_router_edge_test.dir/sim_router_edge_test.cc.o.d"
+  "sim_router_edge_test"
+  "sim_router_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_router_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_universe_test.dir/topology_universe_test.cc.o"
+  "CMakeFiles/topology_universe_test.dir/topology_universe_test.cc.o.d"
+  "topology_universe_test"
+  "topology_universe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_universe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

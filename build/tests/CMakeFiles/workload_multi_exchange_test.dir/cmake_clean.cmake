@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_multi_exchange_test.dir/workload_multi_exchange_test.cc.o"
+  "CMakeFiles/workload_multi_exchange_test.dir/workload_multi_exchange_test.cc.o.d"
+  "workload_multi_exchange_test"
+  "workload_multi_exchange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_multi_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_usage_test.dir/workload_usage_test.cc.o"
+  "CMakeFiles/workload_usage_test.dir/workload_usage_test.cc.o.d"
+  "workload_usage_test"
+  "workload_usage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_usage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_analyze.dir/iri_analyze.cpp.o"
+  "CMakeFiles/iri_analyze.dir/iri_analyze.cpp.o.d"
+  "iri_analyze"
+  "iri_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iri_simulate.dir/iri_simulate.cpp.o"
+  "CMakeFiles/iri_simulate.dir/iri_simulate.cpp.o.d"
+  "iri_simulate"
+  "iri_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iri_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
