@@ -44,11 +44,11 @@ bool Preferred(const Candidate& a, const Candidate& b) {
 
 int SelectBest(std::span<const Candidate> candidates) {
   if (candidates.empty()) return -1;
-  int best = 0;
-  for (int i = 1; i < static_cast<int>(candidates.size()); ++i) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
     if (Preferred(candidates[i], candidates[best])) best = i;
   }
-  return best;
+  return static_cast<int>(best);
 }
 
 }  // namespace iri::bgp

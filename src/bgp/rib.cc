@@ -1,6 +1,6 @@
 #include "bgp/rib.h"
 
-#include <cassert>
+#include "core/invariants.h"
 
 namespace iri::bgp {
 
@@ -9,7 +9,8 @@ void Rib::AddPeer(PeerId peer, IPv4Address router_id) {
 }
 
 RibChange Rib::Announce(PeerId peer, const Route& route) {
-  assert(peers_.contains(peer));
+  IRI_ASSERT(peers_.contains(peer),
+             "Announce from a peer never registered with AddPeer");
   Entry* entry = table_.Find(route.prefix);
   if (entry == nullptr) {
     table_.Insert(route.prefix, Entry{});
@@ -49,6 +50,9 @@ RibChange Rib::Withdraw(PeerId peer, const Prefix& prefix) {
     }
   }
   if (!removed) return {};  // pathological withdrawal: nothing to do
+  IRI_ASSERT(num_routes_ > 0,
+             "Adj-RIB-In count underflow: removed a route while num_routes_ "
+             "was already zero");
   peer_prefixes_[peer].erase(prefix);
   --num_routes_;
 
@@ -72,6 +76,9 @@ std::vector<std::pair<Prefix, RibChange>> Rib::ClearPeer(PeerId peer) {
     RibChange c = Withdraw(peer, p);
     if (c.best_changed) changes.emplace_back(p, std::move(c));
   }
+  IRI_DCHECK(PeerRouteCount(peer) == 0,
+             "ClearPeer must drop every route learned from the peer");
+  IRI_DCHECK(AuditInvariants(), "RIB bookkeeping inconsistent after ClearPeer");
   return changes;
 }
 
@@ -92,9 +99,56 @@ std::size_t Rib::PeerRouteCount(PeerId peer) const {
   return it == peer_prefixes_.end() ? 0 : it->second.size();
 }
 
+bool Rib::AuditInvariants() const {
+  std::size_t candidate_total = 0;
+  std::size_t malformed_entries = 0;   // empty, or best index out of range
+  std::size_t duplicate_peer_routes = 0;
+  std::size_t unindexed_routes = 0;    // candidate missing from peer_prefixes_
+  table_.Visit([&](const Prefix& prefix, const Entry& e) {
+    candidate_total += e.candidates.size();
+    if (e.candidates.empty() || e.best < 0 ||
+        static_cast<std::size_t>(e.best) >= e.candidates.size()) {
+      ++malformed_entries;
+    }
+    for (std::size_t i = 0; i < e.candidates.size(); ++i) {
+      for (std::size_t j = i + 1; j < e.candidates.size(); ++j) {
+        if (e.candidates[i].peer == e.candidates[j].peer) {
+          ++duplicate_peer_routes;
+        }
+      }
+      auto it = peer_prefixes_.find(e.candidates[i].peer);
+      if (it == peer_prefixes_.end() || !it->second.contains(prefix)) {
+        ++unindexed_routes;
+      }
+    }
+  });
+  std::size_t indexed_total = 0;
+  for (const auto& [peer, prefixes] : peer_prefixes_) {
+    indexed_total += prefixes.size();
+  }
+
+  IRI_ASSERT(malformed_entries == 0,
+             "RIB entry with no candidates or best index out of range");
+  IRI_ASSERT(duplicate_peer_routes == 0,
+             "Adj-RIB-In holds two routes from one peer for one prefix");
+  IRI_ASSERT(unindexed_routes == 0,
+             "route present in the table but missing from the per-peer index");
+  IRI_ASSERT(candidate_total == num_routes_,
+             "num_routes_ disagrees with the table's candidate count");
+  IRI_ASSERT(indexed_total == num_routes_,
+             "num_routes_ disagrees with the per-peer index total");
+  return malformed_entries == 0 && duplicate_peer_routes == 0 &&
+         unindexed_routes == 0 && candidate_total == num_routes_ &&
+         indexed_total == num_routes_;
+}
+
 RibChange Rib::Redecide(const Prefix& /*prefix*/, Entry& entry,
                         const std::optional<Candidate>& old_best) {
   entry.best = SelectBest(entry.candidates);
+  IRI_DCHECK(entry.candidates.empty() ||
+                 (entry.best >= 0 && static_cast<std::size_t>(entry.best) <
+                                         entry.candidates.size()),
+             "decision process must pick a best route from the candidates");
   RibChange change;
   change.new_best = BestOf(entry);
   if (old_best.has_value() != change.new_best.has_value()) {

@@ -65,6 +65,15 @@ class Rib {
   // Number of prefixes learned from `peer`.
   std::size_t PeerRouteCount(PeerId peer) const;
 
+  // Full O(routes) structural audit of the Adj-RIB-In bookkeeping:
+  // num_routes_ equals both the per-peer index total and the table's
+  // candidate count, every entry is non-empty with a valid best index, and
+  // no entry holds two routes from the same peer. Returns true when
+  // consistent (and IRI_ASSERTs each clause, so under the default abort
+  // policy a false return is unreachable). Called by tests and by debug
+  // builds after every ClearPeer.
+  bool AuditInvariants() const;
+
   // Visits (prefix, best candidate) over the whole Loc-RIB in address order.
   template <typename Fn>
   void VisitBest(Fn&& fn) const {

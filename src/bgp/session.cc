@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "core/invariants.h"
+
 namespace iri::bgp {
+
+namespace {
+// kLegal[from][to]: transitions one public event handler may perform.
+// Self-loops are always legal (no-op events). The forbidden cells are the
+// ones a state-machine bug would most plausibly produce: entering
+// Established without completing the OPEN/KEEPALIVE handshake, or leaving
+// Idle by anything but an administrative Start.
+constexpr bool kLegal[kNumSessionStates][kNumSessionStates] = {
+    //               to: Idle   Connect OpenSent OpenConfirm Established
+    /* from Idle        */ {true, true, false, false, false},
+    /* from Connect     */ {true, true, true, true, false},
+    /* from OpenSent    */ {true, true, true, true, false},
+    /* from OpenConfirm */ {true, true, false, true, true},
+    /* from Established */ {true, true, false, false, true},
+};
+}  // namespace
+
+bool IsLegalTransition(SessionState from, SessionState to) {
+  return kLegal[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+}
+
+SessionFsm::TransitionAudit::~TransitionAudit() {
+  IRI_ASSERT(IsLegalTransition(from_, fsm_.state_),
+             "session FSM performed an illegal state transition");
+}
 
 const char* ToString(SessionState s) {
   switch (s) {
@@ -16,11 +43,13 @@ const char* ToString(SessionState s) {
 }
 
 void SessionFsm::Start(TimePoint now, Actions& /*out*/) {
+  TransitionAudit audit(*this);
   if (state_ != SessionState::kIdle) return;
   EnterConnect(now);
 }
 
 void SessionFsm::Stop(TimePoint now, Actions& out) {
+  TransitionAudit audit(*this);
   if (state_ == SessionState::kEstablished || state_ == SessionState::kOpenSent ||
       state_ == SessionState::kOpenConfirm) {
     TearDown(now, NotifyCode::kCease, out);
@@ -37,6 +66,7 @@ void SessionFsm::EnterConnect(TimePoint now) {
 }
 
 void SessionFsm::OnTransportUp(TimePoint now, Actions& out) {
+  TransitionAudit audit(*this);
   if (state_ != SessionState::kConnect) return;
   state_ = SessionState::kOpenSent;
   connect_retry_deadline_ = TimePoint::Max();
@@ -46,6 +76,7 @@ void SessionFsm::OnTransportUp(TimePoint now, Actions& out) {
 }
 
 void SessionFsm::OnTransportDown(TimePoint now, Actions& out) {
+  TransitionAudit audit(*this);
   if (state_ == SessionState::kEstablished) {
     out.push_back({ActionType::kSessionDown,
                    {NotifyCode::kCease, /*subcode=*/0}});
@@ -76,6 +107,7 @@ void SessionFsm::HandlePeerOpen(TimePoint now, const OpenMessage& open,
 }
 
 void SessionFsm::OnMessage(TimePoint now, const Message& msg, Actions& out) {
+  TransitionAudit audit(*this);
   switch (state_) {
     case SessionState::kIdle:
       // Messages before the session exists are a simulator bug, not a peer
@@ -139,6 +171,7 @@ void SessionFsm::OnMessage(TimePoint now, const Message& msg, Actions& out) {
 }
 
 void SessionFsm::OnTimer(TimePoint now, Actions& out) {
+  TransitionAudit audit(*this);
   if (state_ == SessionState::kConnect && now >= connect_retry_deadline_) {
     // Transport still not up; keep waiting another interval. The simulator
     // decides when OnTransportUp happens; this just re-arms the deadline.

@@ -26,6 +26,14 @@ enum class SessionState : std::uint8_t {
   kOpenConfirm,
   kEstablished,
 };
+inline constexpr std::size_t kNumSessionStates = 5;
+
+// True when a single public FSM event may move a session from `from` to
+// `to`. This is the legal-transition matrix the runtime audit (and the FSM
+// property tests) check every handler against; e.g. nothing may jump from
+// Idle or Connect straight to Established without an OPEN/KEEPALIVE
+// exchange passing through OpenSent/OpenConfirm.
+bool IsLegalTransition(SessionState from, SessionState to);
 
 struct SessionConfig {
   Asn local_asn = 0;
@@ -80,6 +88,22 @@ class SessionFsm {
   TimePoint NextDeadline() const;
 
  private:
+  // RAII audit for public event handlers: captures the state on entry and
+  // IRI_ASSERTs the (entry, exit) pair against IsLegalTransition when the
+  // handler returns.
+  class TransitionAudit {
+   public:
+    explicit TransitionAudit(const SessionFsm& fsm)
+        : fsm_(fsm), from_(fsm.state_) {}
+    ~TransitionAudit();
+    TransitionAudit(const TransitionAudit&) = delete;
+    TransitionAudit& operator=(const TransitionAudit&) = delete;
+
+   private:
+    const SessionFsm& fsm_;
+    SessionState from_;
+  };
+
   void EnterConnect(TimePoint now);
   void TearDown(TimePoint now, NotifyCode code, Actions& out);
   // Common OPEN validation/negotiation for OpenSent (and the passive-open

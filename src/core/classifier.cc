@@ -1,6 +1,20 @@
 #include "core/classifier.h"
 
+#include <numeric>
+
+#include "core/invariants.h"
+
 namespace iri::core {
+
+// The taxonomy's two super-classes must partition: no category is both
+// instability and pathology (checked for every bin at compile time).
+template <std::size_t... I>
+constexpr bool PartitionsAreDisjoint(std::index_sequence<I...>) {
+  return ((!(IsInstability(static_cast<Category>(I)) &&
+             IsPathology(static_cast<Category>(I)))) && ...);
+}
+static_assert(PartitionsAreDisjoint(std::make_index_sequence<kNumCategories>{}),
+              "IsInstability and IsPathology must be disjoint");
 
 const char* ToString(Category c) {
   switch (c) {
@@ -53,7 +67,15 @@ ClassifiedEvent Classifier::Classify(const UpdateEvent& ev) {
     st.last_attributes = ev.attributes;
   }
 
+  IRI_ASSERT(static_cast<std::size_t>(out.category) < kNumCategories,
+             "classifier produced an out-of-range category");
   ++totals_[static_cast<std::size_t>(out.category)];
+  ++events_;
+  // Conservation: the seven bins partition the event stream exactly. A
+  // drift here would silently reshape Figure 2.
+  IRI_DCHECK(std::accumulate(totals_.begin(), totals_.end(),
+                             std::uint64_t{0}) == events_,
+             "category counts must conserve total events");
   return out;
 }
 

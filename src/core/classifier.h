@@ -47,13 +47,13 @@ const char* ToString(Category c);
 
 // True for the classes the paper calls "instability" (forwarding
 // instability + possible pathology WADup).
-inline bool IsInstability(Category c) {
+constexpr bool IsInstability(Category c) {
   return c == Category::kWADiff || c == Category::kAADiff ||
          c == Category::kWADup;
 }
 
 // True for redundant/pathological classes.
-inline bool IsPathology(Category c) {
+constexpr bool IsPathology(Category c) {
   return c == Category::kAADup || c == Category::kWWDup;
 }
 
@@ -78,9 +78,15 @@ class Classifier {
     return totals_;
   }
 
+  // Events classified since construction/Reset. The conservation invariant —
+  // the paper's seven bins partition the event stream — is sum(totals()) ==
+  // total_events(), audited by IRI_DCHECK on every Classify.
+  std::uint64_t total_events() const { return events_; }
+
   void Reset() {
     state_.clear();
     totals_.fill(0);
+    events_ = 0;
   }
 
  private:
@@ -95,6 +101,7 @@ class Classifier {
 
   std::unordered_map<bgp::PrefixPeer, RouteState> state_;
   std::array<std::uint64_t, kNumCategories> totals_{};
+  std::uint64_t events_ = 0;
 };
 
 }  // namespace iri::core

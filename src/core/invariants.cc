@@ -1,0 +1,25 @@
+#include "core/invariants.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iri::inv {
+
+void ResetForTest() {
+  InvariantStats().checked.store(0, std::memory_order_relaxed);
+  InvariantStats().failed.store(0, std::memory_order_relaxed);
+  GlobalPolicy().store(Policy::kAbort, std::memory_order_relaxed);
+}
+
+void InvariantFailed(const char* expr, const char* file, int line,
+                     const char* message) {
+  InvariantStats().failed.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr, "[iri invariant] %s:%d: (%s) violated: %s\n", file,
+               line, expr, message);
+  if (GlobalPolicy().load(std::memory_order_relaxed) == Policy::kAbort) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace iri::inv

@@ -1,0 +1,93 @@
+// Runtime invariant auditing: IRI_ASSERT / IRI_DCHECK.
+//
+// The paper's results are only as good as the state machines backing them —
+// a silent off-by-one in per-(Prefix, peer) classifier state would change
+// Figure 2 outright. These macros let the classifier, RIB, session FSM and
+// scheduler audit their own invariants in every build, with a policy knob so
+// tests can observe failures without dying:
+//
+//   IRI_ASSERT(cond, "message")   checked in every build (unless compiled
+//                                 out with IRI_DISABLE_INVARIANTS); on
+//                                 failure consults the global policy:
+//                                 abort (default) or log-and-continue.
+//   IRI_DCHECK(cond, "message")   as IRI_ASSERT, but compiled to nothing in
+//                                 NDEBUG builds; for O(n) audits too slow
+//                                 for release hot paths.
+//
+// Every evaluation and every failure is counted (relaxed atomics; the
+// counters are observable via InvariantStats() and exercised by the unit
+// tests). When compiled out, the macros expand to `(void)0` — zero cost, and
+// the condition expression is not evaluated.
+//
+// This header is deliberately self-contained (standard library only) so any
+// layer — netbase excepted, which stays dependency-free — can include it
+// without upward link dependencies: it is built as its own tiny library
+// (`iri_invariants`) at the bottom of the link order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace iri::inv {
+
+// What to do when an invariant fails.
+enum class Policy : std::uint8_t {
+  kAbort,  // print expr/file/line to stderr, then std::abort() (default)
+  kLog,    // print to stderr, bump the counter, continue
+};
+
+struct Counters {
+  std::atomic<std::uint64_t> checked{0};  // evaluations (pass or fail)
+  std::atomic<std::uint64_t> failed{0};   // failures observed
+};
+
+// Process-wide counters. Inline so every TU shares one instance without a
+// link-time dependency for the fast path.
+inline Counters& InvariantStats() {
+  static Counters counters;
+  return counters;
+}
+
+inline std::atomic<Policy>& GlobalPolicy() {
+  static std::atomic<Policy> policy{Policy::kAbort};
+  return policy;
+}
+
+inline void SetPolicy(Policy p) {
+  GlobalPolicy().store(p, std::memory_order_relaxed);
+}
+
+// Resets counters and restores the abort policy; tests use this to isolate
+// their observations.
+void ResetForTest();
+
+// Cold path: records the failure and applies the policy. Returns only under
+// Policy::kLog. Defined in invariants.cc.
+void InvariantFailed(const char* expr, const char* file, int line,
+                     const char* message);
+
+}  // namespace iri::inv
+
+#if defined(IRI_DISABLE_INVARIANTS)
+
+#define IRI_ASSERT(cond, message) ((void)0)
+#define IRI_DCHECK(cond, message) ((void)0)
+
+#else
+
+#define IRI_ASSERT(cond, message)                                          \
+  do {                                                                     \
+    ::iri::inv::InvariantStats().checked.fetch_add(                        \
+        1, std::memory_order_relaxed);                                     \
+    if (!(cond)) {                                                         \
+      ::iri::inv::InvariantFailed(#cond, __FILE__, __LINE__, (message));   \
+    }                                                                      \
+  } while (false)
+
+#if defined(NDEBUG)
+#define IRI_DCHECK(cond, message) ((void)0)
+#else
+#define IRI_DCHECK(cond, message) IRI_ASSERT(cond, message)
+#endif
+
+#endif  // IRI_DISABLE_INVARIANTS

@@ -60,8 +60,8 @@ struct CategoryCounts {
 class DailyCategoryTally {
  public:
   void Add(const ClassifiedEvent& ev) {
-    const int day = DayOf(ev.event.time);
-    if (day >= static_cast<int>(days_.size())) days_.resize(day + 1);
+    const auto day = static_cast<std::size_t>(DayOf(ev.event.time));
+    if (day >= days_.size()) days_.resize(day + 1);
     days_[day].Add(ev);
   }
 

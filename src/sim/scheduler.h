@@ -1,15 +1,19 @@
 // Discrete-event scheduler: the single clock every component shares.
 //
-// A binary-heap priority queue of (time, sequence, closure). The sequence
-// number makes simultaneous events FIFO, which together with the seeded RNGs
-// makes whole scenarios bit-for-bit reproducible.
+// A binary heap of (time, sequence, closure) over an owned vector — owning
+// the storage (rather than wrapping std::priority_queue) lets Step() move
+// the closure out without the const_cast dance priority_queue forces. The
+// sequence number makes simultaneous events FIFO, which together with the
+// seeded RNGs makes whole scenarios bit-for-bit reproducible.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "core/invariants.h"
 #include "netbase/time.h"
 
 namespace iri::sim {
@@ -24,28 +28,33 @@ class Scheduler {
   // caller bug; the task runs immediately at Now() instead (never rewinds).
   void At(TimePoint t, Task task) {
     if (t < now_) t = now_;
-    queue_.push(Item{t, next_seq_++, std::move(task)});
+    heap_.push_back(Item{t, next_seq_++, std::move(task)});
+    std::push_heap(heap_.begin(), heap_.end(), RunsLater);
   }
 
   void After(Duration d, Task task) { At(now_ + d, std::move(task)); }
 
   // Runs the earliest event. Returns false when the queue is empty.
   bool Step() {
-    if (queue_.empty()) return false;
-    // Moving out of the priority queue requires a const_cast dance; copy the
-    // metadata first, then steal the closure.
-    Item& top = const_cast<Item&>(queue_.top());
-    now_ = top.at;
-    Task task = std::move(top.task);
-    queue_.pop();
-    task();
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), RunsLater);
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
+    IRI_ASSERT(item.at >= now_, "scheduler clock must never rewind");
+    now_ = item.at;
+    item.task();
     ++executed_;
     return true;
   }
 
   // Runs events with time <= `end`, then advances the clock to `end`.
+  // A horizon already in the past runs nothing and leaves the clock alone.
   void RunUntil(TimePoint end) {
-    while (!queue_.empty() && queue_.top().at <= end) Step();
+    while (!heap_.empty() && heap_.front().at <= end) {
+      Step();
+      IRI_ASSERT(now_ <= end,
+                 "RunUntil must not execute events beyond its horizon");
+    }
     if (now_ < end) now_ = end;
   }
 
@@ -54,7 +63,7 @@ class Scheduler {
     while (Step()) {}
   }
 
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
  private:
@@ -62,15 +71,16 @@ class Scheduler {
     TimePoint at;
     std::uint64_t seq;
     Task task;
-
-    // Min-heap: earlier time first, then FIFO by sequence.
-    bool operator<(const Item& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
   };
 
-  std::priority_queue<Item> queue_;
+  // Heap comparator: `a` runs after `b` — std::push_heap builds a max-heap,
+  // so "runs latest" at the bottom puts the earliest (time, seq) at front.
+  static bool RunsLater(const Item& a, const Item& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Item> heap_;
   TimePoint now_ = TimePoint::Origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

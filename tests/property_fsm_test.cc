@@ -36,6 +36,7 @@ TEST_P(FsmFuzz, RandomEventSequencesKeepInvariants) {
   for (int step = 0; step < 5000; ++step) {
     now += Duration::Seconds(rng.Exponential(10.0));
     actions.clear();
+    const SessionState before = fsm.state();
     switch (rng.Below(8)) {
       case 0: fsm.Start(now, actions); break;
       case 1: fsm.Stop(now, actions); break;
@@ -55,6 +56,11 @@ TEST_P(FsmFuzz, RandomEventSequencesKeepInvariants) {
         break;
       }
     }
+    // Every public event must move the session along a legal edge of the
+    // transition matrix (the same matrix the FSM's runtime audit enforces).
+    ASSERT_TRUE(IsLegalTransition(before, fsm.state()))
+        << "illegal " << ToString(before) << " -> " << ToString(fsm.state())
+        << " at step " << step;
     for (const auto& act : actions) {
       if (act.type == SessionFsm::ActionType::kSessionUp) {
         EXPECT_FALSE(up) << "double kSessionUp at step " << step;

@@ -116,6 +116,7 @@ TEST_P(RibModelCheck, MatchesReferenceUnderRandomOps) {
       }
       EXPECT_EQ(rib.NumPrefixes(), model.size());
       EXPECT_EQ(rib.NumRoutes(), model_routes);
+      ASSERT_TRUE(rib.AuditInvariants());
     }
   }
 }
@@ -150,6 +151,7 @@ TEST_P(RibCountInvariant, CountsAlwaysConsistent) {
     for (PeerId p = 0; p < kPeers; ++p) sum += rib.PeerRouteCount(p);
     ASSERT_EQ(sum, rib.NumRoutes());
   }
+  ASSERT_TRUE(rib.AuditInvariants());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RibCountInvariant, ::testing::Values(7, 8, 9));

@@ -1,0 +1,363 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism and layering lint for iri.
+
+Static analyzers know C++; they do not know that this repo's whole value
+proposition is bit-for-bit reproducible scenarios. This lint enforces the
+invariants that make that true and that clang-tidy cannot express:
+
+  rng            No rand()/srand()/std::random_device/<random> outside
+                 netbase/rng.h. Every stochastic draw must come from a seeded
+                 Xoshiro stream or reruns stop reproducing.
+  wall-clock     No wall-clock reads (std::chrono clocks, time(),
+                 gettimeofday, ...) outside netbase/time.{h,cc}. All of iri
+                 runs on simulated time.
+  unordered-iteration
+                 No iteration over std::unordered_map/std::unordered_set in
+                 code paths that write reports or MRT logs (core/report,
+                 core/snapshot, core/monitor, src/mrt/, tools/). Hash-order
+                 iteration varies across libstdc++ versions and would break
+                 byte-identical scenario outputs.
+  pragma-once    Every header under src/ starts its include guard with
+                 `#pragma once`.
+  include-layering
+                 Layer hygiene: netbase includes only netbase; bgp only
+                 {bgp, netbase}; sim/mrt/topology sit above bgp; core sits
+                 above sim/mrt; workload on top. The single sanctioned
+                 exception: any layer above netbase may include
+                 core/invariants.h (built as the bottom-of-stack
+                 iri_invariants library precisely so this is link-safe).
+
+Suppress a finding (sparingly, with a reason in a nearby comment) by putting
+`iri-lint: allow(<rule>)` in a comment on the offending line.
+
+Usage:
+  iri_lint.py [--root REPO_ROOT]     lint the tree (default: repo root
+                                     inferred from this file's location)
+  iri_lint.py --self-test            verify the linter catches seeded
+                                     violations (run by CTest)
+
+Exit status: 0 clean, 1 violations found, 2 internal/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+# --------------------------------------------------------------------------
+# File discovery
+
+SRC_EXTENSIONS = {".h", ".hpp", ".cc", ".cpp"}
+
+
+def lintable_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files = []
+    for top in ("src", "tools"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SRC_EXTENSIONS:
+                files.append(path)
+    return files
+
+
+# --------------------------------------------------------------------------
+# Comment/string scrubbing (keeps line structure so reported line numbers
+# stay valid; suppression markers are collected before scrubbing).
+
+ALLOW_RE = re.compile(r"iri-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+def collect_suppressions(lines: list[str]) -> dict[int, set[str]]:
+    out: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            out[i] = {r.strip() for r in m.group(1).split(",")}
+    return out
+
+
+def scrub(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving newlines."""
+
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    # Order matters: raw strings, then block comments, then line comments,
+    # then plain string/char literals.
+    text = re.sub(r'R"([^(\s]*)\((?:.|\n)*?\)\1"', blank, text)
+    text = re.sub(r"/\*(?:.|\n)*?\*/", blank, text)
+    text = re.sub(r"//[^\n]*", blank, text)
+    text = re.sub(r'"(?:[^"\\\n]|\\.)*"', blank, text)
+    text = re.sub(r"'(?:[^'\\\n]|\\.)*'", blank, text)
+    return text
+
+
+# --------------------------------------------------------------------------
+# Rules
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+RNG_EXEMPT = {"src/netbase/rng.h"}
+RNG_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::mt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bstd::default_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:])d?random\s*\("), "random()/drandom()"),
+    (re.compile(r"(?<![\w:])[ed]rand48\s*\("), "*rand48()"),
+    (re.compile(r"#\s*include\s*<random>"), "<random>"),
+]
+
+CLOCK_EXEMPT = {"src/netbase/time.h", "src/netbase/time.cc"}
+CLOCK_PATTERNS = [
+    (re.compile(r"\bstd::chrono::(?:system|steady|high_resolution)_clock\b"),
+     "std::chrono clock"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:nullptr|NULL|0|&)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"(?<![\w:])(?:localtime|gmtime)(?:_r)?\s*\("), "localtime()/gmtime()"),
+]
+
+# Files that produce user-visible reports or on-disk logs; iteration order
+# inside them must be deterministic.
+OUTPUT_PATH_RES = [
+    re.compile(r"^src/core/(report|snapshot|monitor)\.(h|cc)$"),
+    re.compile(r"^src/mrt/"),
+    re.compile(r"^tools/"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)\s*[;={(]")
+UNORDERED_INLINE_ITER_RE = re.compile(
+    r"for\s*\([^;)]*:\s*[^)]*\bunordered_(?:map|set|multimap|multiset)\b")
+
+# Layer model. Key: directory under src/. Value: directories its files may
+# include from (via #include "dir/...").
+LAYER_ALLOWED = {
+    "netbase": {"netbase"},
+    "bgp": {"bgp", "netbase"},
+    "sim": {"sim", "bgp", "netbase"},
+    "mrt": {"mrt", "bgp", "netbase"},
+    "topology": {"topology", "bgp", "netbase"},
+    "analysis": {"analysis", "netbase"},
+    "igp": {"igp", "sim", "bgp", "netbase"},
+    "core": {"core", "mrt", "sim", "bgp", "netbase"},
+    "workload": {"workload", "core", "igp", "mrt", "sim", "topology",
+                 "analysis", "bgp", "netbase"},
+}
+# The one sanctioned upward include: the invariant-audit primitives live in
+# core/ but link from the bottom of the stack.
+LAYERING_EXCEPTIONS = {"core/invariants.h"}
+# netbase stays completely dependency-free, exceptions included.
+NO_EXCEPTION_LAYERS = {"netbase"}
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def lint_file(path: pathlib.Path, rel: str, text: str) -> list[Finding]:
+    findings: list[Finding] = []
+    raw_lines = text.splitlines()
+    suppressions = collect_suppressions(raw_lines)
+    scrubbed_lines = scrub(text).splitlines()
+
+    def report(line_no: int, rule: str, message: str) -> None:
+        if rule in suppressions.get(line_no, set()):
+            return
+        findings.append(Finding(path, line_no, rule, message))
+
+    # rng / wall-clock ------------------------------------------------------
+    for line_no, line in enumerate(scrubbed_lines, start=1):
+        if rel not in RNG_EXEMPT:
+            for pattern, what in RNG_PATTERNS:
+                if pattern.search(line):
+                    report(line_no, "rng",
+                           f"{what} outside netbase/rng.h; draw from a "
+                           "seeded iri::Rng stream instead")
+        if rel not in CLOCK_EXEMPT:
+            for pattern, what in CLOCK_PATTERNS:
+                if pattern.search(line):
+                    report(line_no, "wall-clock",
+                           f"{what} outside netbase/time.*; iri runs on "
+                           "simulated time only")
+
+    # unordered-iteration ---------------------------------------------------
+    if any(r.search(rel) for r in OUTPUT_PATH_RES):
+        unordered_names = set(UNORDERED_DECL_RE.findall(scrub(text)))
+        iter_res = []
+        for name in unordered_names:
+            iter_res.append(re.compile(
+                r"for\s*\([^;)]*:\s*[^)]*\b" + re.escape(name) + r"\b"))
+            iter_res.append(re.compile(
+                r"\b" + re.escape(name) + r"\s*\.\s*c?begin\s*\("))
+        for line_no, line in enumerate(scrubbed_lines, start=1):
+            if UNORDERED_INLINE_ITER_RE.search(line) or any(
+                    r.search(line) for r in iter_res):
+                report(line_no, "unordered-iteration",
+                       "iteration over an unordered container in an "
+                       "output-writing path; hash order is not "
+                       "deterministic across libstdc++ versions — sort "
+                       "first or use std::map")
+
+    # pragma-once -----------------------------------------------------------
+    if path.suffix in {".h", ".hpp"} and rel.startswith("src/"):
+        if not any(re.match(r"#\s*pragma\s+once\b", l) for l in raw_lines):
+            report(1, "pragma-once", "header lacks #pragma once")
+
+    # include-layering ------------------------------------------------------
+    parts = pathlib.PurePosixPath(rel).parts
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_ALLOWED:
+        layer = parts[1]
+        allowed = LAYER_ALLOWED[layer]
+        # Raw lines: the scrubber blanks the quoted include path.
+        for line_no, line in enumerate(raw_lines, start=1):
+            m = INCLUDE_RE.search(line)
+            if not m:
+                continue
+            target = m.group(1)
+            if target in LAYERING_EXCEPTIONS and layer not in NO_EXCEPTION_LAYERS:
+                continue
+            target_dir = target.split("/", 1)[0] if "/" in target else layer
+            if target_dir in LAYER_ALLOWED and target_dir not in allowed:
+                report(line_no, "include-layering",
+                       f"layer '{layer}' may not include '{target}' "
+                       f"(allowed: {', '.join(sorted(allowed))})")
+
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in lintable_files(root):
+        rel = path.relative_to(root).as_posix()
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as err:
+            findings.append(Finding(path, 1, "io", f"unreadable: {err}"))
+            continue
+        findings.extend(lint_file(path, rel, text))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: seed one violation per rule into a scratch tree and require the
+# linter to flag each; also require a clean file and a suppressed line to
+# pass. This is what keeps the lint itself honest in CI.
+
+SELF_TEST_CASES = {
+    # rel path -> (contents, set of rules that must fire)
+    "src/sim/bad_rng.cc": (
+        "#include <random>\n"
+        "int Draw() { return rand(); }\n",
+        {"rng"},
+    ),
+    "src/core/bad_clock.cc": (
+        "#include <ctime>\n"
+        "long Now() { return time(nullptr); }\n",
+        {"wall-clock"},
+    ),
+    "src/mrt/bad_iter.cc": (
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> tally;\n"
+        "int Sum() { int s = 0; for (auto& [k, v] : tally) s += v; return s; }\n",
+        {"unordered-iteration"},
+    ),
+    "src/bgp/bad_guard.h": (
+        "// no include guard at all\n"
+        "struct Naked {};\n",
+        {"pragma-once"},
+    ),
+    "src/netbase/bad_layering.h": (
+        "#pragma once\n"
+        '#include "bgp/rib.h"\n'
+        '#include "core/invariants.h"\n',
+        {"include-layering"},
+    ),
+    "src/bgp/clean.h": (
+        "#pragma once\n"
+        '#include "netbase/time.h"\n'
+        '#include "core/invariants.h"\n'
+        "// rand() in a comment must not fire\n"
+        "inline int Fine() { return 4; }\n",
+        set(),
+    ),
+    "src/sim/suppressed.cc": (
+        "int Draw() { return rand(); }  // iri-lint: allow(rng) seeded fallback\n",
+        set(),
+    ),
+}
+
+
+def self_test() -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="iri_lint_selftest_") as tmp:
+        root = pathlib.Path(tmp)
+        for rel, (contents, _) in SELF_TEST_CASES.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(contents, encoding="utf-8")
+        findings = lint_tree(root)
+        by_file: dict[str, set[str]] = {}
+        for f in findings:
+            by_file.setdefault(
+                f.path.relative_to(root).as_posix(), set()).add(f.rule)
+        for rel, (_, expected) in SELF_TEST_CASES.items():
+            got = by_file.get(rel, set())
+            missing = expected - got
+            unexpected = got - expected
+            if missing:
+                failures.append(f"{rel}: expected rule(s) {sorted(missing)} "
+                                "did not fire")
+            if unexpected:
+                failures.append(f"{rel}: unexpected rule(s) "
+                                f"{sorted(unexpected)} fired")
+    if failures:
+        print("iri_lint self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("iri_lint self-test passed "
+          f"({len(SELF_TEST_CASES)} seeded cases).")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2])
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    if not (args.root / "src").is_dir():
+        print(f"iri_lint: no src/ under {args.root}", file=sys.stderr)
+        return 2
+
+    findings = lint_tree(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"iri_lint: {len(findings)} finding(s).")
+        return 1
+    print(f"iri_lint: clean ({len(lintable_files(args.root))} files).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
