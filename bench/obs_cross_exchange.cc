@@ -1,10 +1,13 @@
 // §2/§5 methodology check: the paper collected at five exchange points and
 // notes its Mae-East results "are representative of other exchange points,
-// including PacBell and Sprint." Run the five-collector campaign and
-// compare the taxonomy mix at every exchange.
+// including PacBell and Sprint." Run the five-collector campaign — one
+// independent partition per exchange on the parallel runner, exactly how
+// the real collectors were independent boxes — and compare the taxonomy mix
+// at every exchange.
 #include "bench_common.h"
 #include "core/report.h"
 #include "core/stats.h"
+#include "workload/multi_exchange_runner.h"
 
 int main(int argc, char** argv) {
   using namespace iri;
@@ -16,21 +19,16 @@ int main(int argc, char** argv) {
 
   static const char* kExchanges[] = {"Mae-East", "AADS", "Sprint", "PacBell",
                                      "Mae-West"};
-  auto cfg = flags.ToScenarioConfig();
-  cfg.num_exchanges = 5;
-  workload::ExchangeScenario scenario(cfg);
-
-  std::vector<core::CategoryCounts> counts(5);
-  for (int e = 0; e < 5; ++e) {
-    scenario.monitor(e).AddSink([&counts, e](const core::ClassifiedEvent& ev) {
-      counts[static_cast<std::size_t>(e)].Add(ev);
-    });
-  }
-  scenario.Run();
+  workload::MultiExchangeConfig cfg;
+  cfg.scenario = flags.ToScenarioConfig();
+  cfg.scenario.num_exchanges = 5;
+  cfg.capture_mrt = false;  // taxonomy only; skip the byte stream
+  workload::MultiExchangeRunner runner(std::move(cfg));
+  const workload::MultiExchangeResult result = runner.Run();
 
   std::vector<std::vector<std::string>> rows;
   for (int e = 0; e < 5; ++e) {
-    const auto& c = counts[static_cast<std::size_t>(e)];
+    const auto& c = result.exchanges[static_cast<std::size_t>(e)].counts;
     const double total = static_cast<double>(std::max<std::uint64_t>(1, c.Total()));
     char patho[16], instab[16];
     std::snprintf(patho, sizeof(patho), "%.1f%%",
@@ -48,7 +46,8 @@ int main(int argc, char** argv) {
                           .c_str());
 
   double min_patho = 1.0, max_patho = 0.0;
-  for (const auto& c : counts) {
+  for (const auto& ex : result.exchanges) {
+    const auto& c = ex.counts;
     const double share = static_cast<double>(c.Pathology()) /
                          static_cast<double>(std::max<std::uint64_t>(1, c.Total()));
     min_patho = std::min(min_patho, share);
@@ -57,5 +56,7 @@ int main(int argc, char** argv) {
   std::printf("pathology share spread across exchanges: %.1f%% .. %.1f%% "
               "(paper: results representative across exchange points)\n",
               min_patho * 100, max_patho * 100);
+  std::printf("combined: %llu events across 5 collectors\n",
+              static_cast<unsigned long long>(result.combined.Total()));
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "core/report.h"
 #include "core/stats.h"
+#include "workload/multi_exchange_runner.h"
 
 int main(int argc, char** argv) {
   using namespace iri;
@@ -21,11 +22,17 @@ int main(int argc, char** argv) {
   bench::PrintHeader(
       "Table 1: update totals per ISP for one day at the exchange", flags);
 
-  auto cfg = flags.ToScenarioConfig();
-  cfg.patho_enabled = true;          // the Provider-I incident
-  cfg.patho_spray_rate = 250;
-  cfg.internal_reset_foreign_fraction = 0.25;
-  workload::ExchangeScenario scenario(cfg);
+  // One Mae-East-style collector, driven through the partitioned runner
+  // (num_exchanges=1 is the serial path; IRI_PARALLEL_EXCHANGES still
+  // applies to anyone who raises the exchange count).
+  workload::MultiExchangeConfig cfg;
+  cfg.scenario = flags.ToScenarioConfig();
+  cfg.scenario.num_exchanges = 1;
+  cfg.scenario.patho_enabled = true;  // the Provider-I incident
+  cfg.scenario.patho_spray_rate = 250;
+  cfg.scenario.internal_reset_foreign_fraction = 0.25;
+  cfg.capture_mrt = false;
+  const bool patho_enabled = cfg.scenario.patho_enabled;
 
   struct PeerTotals {
     std::uint64_t announce = 0;
@@ -34,23 +41,29 @@ int main(int argc, char** argv) {
   };
   std::vector<PeerTotals> totals(
       static_cast<std::size_t>(flags.providers));
+  topology::Universe universe;
 
-  scenario.monitor().AddSink([&totals](const core::ClassifiedEvent& ev) {
-    auto& t = totals[ev.event.peer];
-    if (ev.event.is_withdraw) {
-      ++t.withdraw;
-    } else {
-      ++t.announce;
-    }
-    t.unique.insert(ev.event.prefix);
-  });
-  scenario.Run();
+  workload::MultiExchangeRunner runner(std::move(cfg));
+  runner.SetPartitionSetup(
+      [&totals, &universe](int, workload::ExchangeScenario& scenario) {
+        universe = scenario.universe();
+        scenario.monitor().AddSink([&totals](const core::ClassifiedEvent& ev) {
+          auto& t = totals[ev.event.peer];
+          if (ev.event.is_withdraw) {
+            ++t.withdraw;
+          } else {
+            ++t.announce;
+          }
+          t.unique.insert(ev.event.prefix);
+        });
+      });
+  runner.Run();
 
   std::vector<std::vector<std::string>> rows;
   for (std::size_t i = 0; i < totals.size(); ++i) {
-    const auto& spec = scenario.universe().providers[i];
+    const auto& spec = universe.providers[i];
     std::string flavor = spec.stateless_bgp ? "stateless" : "stateful";
-    if (static_cast<int>(i) == flags.providers - 1 && cfg.patho_enabled) {
+    if (static_cast<int>(i) == flags.providers - 1 && patho_enabled) {
       flavor += "+patho";
     }
     rows.push_back({spec.name, flavor, std::to_string(totals[i].announce),

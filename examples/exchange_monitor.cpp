@@ -1,91 +1,116 @@
-// The Routing Arbiter workflow end to end: instrument a route server, log
-// every BGP message to an MRT file, then replay the file offline through a
-// fresh monitor and verify the two analyses agree — the paper's §2
-// methodology (live collection + offline decode) in one program.
+// The Routing Arbiter workflow end to end, now at every exchange point at
+// once: run the multi-exchange campaign on the parallel partitioned runner,
+// log every BGP message to one merged MRT file (per-exchange segments in
+// fixed exchange order), then replay each segment offline through a fresh
+// monitor and verify the two analyses agree — the paper's §2 methodology
+// (live collection + offline decode) in one program.
 //
-//   $ example_exchange_monitor [hours=6] [/tmp/exchange.mrt]
+//   $ example_exchange_monitor [hours=6] [/tmp/exchange.mrt] [exchanges=2]
+//
+// Worker threads come from IRI_PARALLEL_EXCHANGES (default: hardware
+// concurrency); the output is bit-identical at any thread count.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "core/monitor.h"
 #include "core/report.h"
 #include "core/stats.h"
 #include "mrt/log.h"
-#include "workload/scenario.h"
+#include "workload/multi_exchange_runner.h"
 
 int main(int argc, char** argv) {
   using namespace iri;
   const double hours = argc > 1 ? std::atof(argv[1]) : 6.0;
   const std::string path = argc > 2 ? argv[2] : "/tmp/exchange.mrt";
+  const int exchanges = argc > 3 ? std::atoi(argv[3]) : 2;
 
-  // --- live collection ---
-  workload::ScenarioConfig cfg;
-  cfg.topology.scale = 1.0 / 64;
-  cfg.topology.num_providers = 12;
-  cfg.duration = Duration::Hours(hours);
+  // --- live collection, one independent partition per exchange ---
+  workload::MultiExchangeConfig cfg;
+  cfg.scenario.topology.scale = 1.0 / 64;
+  cfg.scenario.topology.num_providers = 12;
+  cfg.scenario.duration = Duration::Hours(hours);
+  cfg.scenario.num_exchanges = exchanges < 1 ? 1 : exchanges;
 
-  workload::ExchangeScenario scenario(cfg);
-  mrt::Writer writer(path);
-  if (!writer.ok()) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 1;
+  std::printf("collecting %.1f simulated hours at %d exchange(s)...\n", hours,
+              cfg.scenario.num_exchanges);
+  workload::MultiExchangeRunner runner(std::move(cfg));
+  const workload::MultiExchangeResult result = runner.Run();
+
+  // One merged file, per-exchange segments concatenated in exchange order.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    if (!result.merged_mrt.empty() &&
+        std::fwrite(result.merged_mrt.data(), 1, result.merged_mrt.size(),
+                    f) != result.merged_mrt.size()) {
+      std::fprintf(stderr, "short write to %s\n", path.c_str());
+      std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
   }
-  scenario.monitor().SetMrtWriter(&writer);
+  std::printf("wrote %zu MRT bytes (%llu messages, CRC32 0x%08X) to %s\n",
+              result.merged_mrt.size(),
+              static_cast<unsigned long long>(result.total_messages),
+              result.MrtCrc32(), path.c_str());
 
-  core::CategoryCounts live;
-  core::TimeBinner hourly(Duration::Hours(1));
-  scenario.monitor().AddSink([&](const core::ClassifiedEvent& ev) {
-    live.Add(ev);
-    hourly.Add(ev.event.time);
-  });
-
-  std::printf("collecting %.1f simulated hours at the exchange...\n", hours);
-  scenario.Run();
-  writer.Close();
-  std::printf("wrote %llu MRT records to %s\n",
-              static_cast<unsigned long long>(writer.records_written()),
-              path.c_str());
-
-  std::printf("\nper-hour update volume (live):\n");
-  const auto& bins = hourly.bins();
-  std::uint64_t peak = 1;
-  for (auto b : bins) peak = std::max(peak, b);
-  for (std::size_t h = 0; h < bins.size(); ++h) {
-    std::printf("h%02zu %7llu %s\n", h,
-                static_cast<unsigned long long>(bins[h]),
-                core::AsciiBar(static_cast<double>(bins[h]),
-                               static_cast<double>(peak), 40)
+  std::printf("\nper-exchange live volume:\n");
+  for (const auto& ex : result.exchanges) {
+    std::printf("exchange %d  %7llu events  %s\n", ex.exchange,
+                static_cast<unsigned long long>(ex.events),
+                core::AsciiBar(static_cast<double>(ex.events),
+                               static_cast<double>(
+                                   std::max<std::uint64_t>(1,
+                                                           result.total_events)),
+                               40)
                     .c_str());
   }
 
-  std::printf("\nlive taxonomy:\n%s\n",
-              core::FormatCategoryReport(live).c_str());
+  std::printf("\nlive taxonomy (all exchanges merged):\n%s\n",
+              core::FormatCategoryReport(result.combined).c_str());
 
-  // --- offline replay ---
+  // --- offline replay, segment by segment ---
+  // Exchanges reuse collector-local peer ids, so each exchange's segment
+  // replays through its own fresh monitor (one classifier per collector,
+  // exactly like the Routing Arbiter's per-box logs).
   std::printf("replaying the MRT log offline...\n");
-  mrt::Reader reader(path);
-  if (!reader.ok()) {
-    std::fprintf(stderr, "cannot read %s back\n", path.c_str());
-    return 1;
-  }
-  core::ExchangeMonitor offline;
+  bool match = true;
+  std::uint64_t replayed_messages = 0;
   core::CategoryCounts replayed;
-  offline.AddSink([&replayed](const core::ClassifiedEvent& ev) {
-    replayed.Add(ev);
-  });
-  const std::uint64_t messages = offline.Replay(reader);
-  std::printf("replayed %llu UPDATE messages (%llu CRC failures)\n",
-              static_cast<unsigned long long>(messages),
-              static_cast<unsigned long long>(reader.crc_failures()));
-
-  bool match = live.announcements == replayed.announcements &&
-               live.withdrawals == replayed.withdrawals;
-  for (std::size_t i = 0; i < core::kNumCategories; ++i) {
-    match = match && live.by_category[i] == replayed.by_category[i];
+  for (const auto& ex : result.exchanges) {
+    mrt::Reader reader(ex.mrt);
+    core::ExchangeMonitor offline;
+    core::CategoryCounts counts;
+    offline.AddSink(
+        [&counts](const core::ClassifiedEvent& ev) { counts.Add(ev); });
+    replayed_messages += offline.Replay(reader);
+    if (reader.crc_failures() != 0) {
+      std::printf("exchange %d: %llu CRC failures\n", ex.exchange,
+                  static_cast<unsigned long long>(reader.crc_failures()));
+      match = false;
+    }
+    bool seg_match = counts.announcements == ex.counts.announcements &&
+                     counts.withdrawals == ex.counts.withdrawals;
+    for (std::size_t i = 0; i < core::kNumCategories; ++i) {
+      seg_match = seg_match && counts.by_category[i] == ex.counts.by_category[i];
+    }
+    std::printf("exchange %d: offline %s live (%llu events)\n", ex.exchange,
+                seg_match ? "matches" : "DIFFERS FROM",
+                static_cast<unsigned long long>(counts.Total()));
+    match = match && seg_match;
+    replayed.Merge(counts);
   }
-  std::printf("offline analysis %s the live analysis (%llu vs %llu events)\n",
-              match ? "MATCHES" : "DIFFERS FROM",
-              static_cast<unsigned long long>(live.Total()),
-              static_cast<unsigned long long>(replayed.Total()));
+  std::printf(
+      "replayed %llu UPDATE messages; offline analysis %s the live "
+      "analysis (%llu vs %llu events)\n",
+      static_cast<unsigned long long>(replayed_messages),
+      match ? "MATCHES" : "DIFFERS FROM",
+      static_cast<unsigned long long>(result.combined.Total()),
+      static_cast<unsigned long long>(replayed.Total()));
   return match ? 0 : 1;
 }

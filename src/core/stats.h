@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/invariants.h"
 
 namespace iri::core {
 
@@ -41,6 +42,17 @@ struct CategoryCounts {
     if (ev.policy_fluctuation) ++policy_fluctuations;
   }
 
+  // Folds another collector's totals in (partitioned multi-exchange runs
+  // merge per-exchange counters in fixed exchange order).
+  void Merge(const CategoryCounts& other) {
+    for (std::size_t i = 0; i < kNumCategories; ++i) {
+      by_category[i] += other.by_category[i];
+    }
+    announcements += other.announcements;
+    withdrawals += other.withdrawals;
+    policy_fluctuations += other.policy_fluctuations;
+  }
+
   std::uint64_t Of(Category c) const {
     return by_category[static_cast<std::size_t>(c)];
   }
@@ -66,6 +78,13 @@ class DailyCategoryTally {
   }
 
   const std::vector<CategoryCounts>& days() const { return days_; }
+
+  void Merge(const DailyCategoryTally& other) {
+    if (other.days_.size() > days_.size()) days_.resize(other.days_.size());
+    for (std::size_t d = 0; d < other.days_.size(); ++d) {
+      days_[d].Merge(other.days_[d]);
+    }
+  }
 
  private:
   std::vector<CategoryCounts> days_;
@@ -94,6 +113,16 @@ class TimeBinner {
     const std::size_t n =
         static_cast<std::size_t>(end.nanos() / width_.nanos());
     if (n >= bins_.size()) bins_.resize(n + 1, 0);
+  }
+
+  // Element-wise sum with another binner over the same width.
+  void Merge(const TimeBinner& other) {
+    IRI_ASSERT(width_ == other.width_,
+               "TimeBinner::Merge requires identical bin widths");
+    if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0);
+    for (std::size_t i = 0; i < other.bins_.size(); ++i) {
+      bins_[i] += other.bins_[i];
+    }
   }
 
  private:

@@ -1,0 +1,103 @@
+#include "workload/multi_exchange_runner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/classifier.h"
+#include "core/invariants.h"
+#include "core/monitor.h"
+#include "mrt/log.h"
+#include "netbase/crc32.h"
+#include "sim/parallel.h"
+#include "topology/universe.h"
+
+namespace iri::workload {
+
+std::uint32_t MultiExchangeResult::MrtCrc32() const {
+  return Crc32(merged_mrt);
+}
+
+std::string MultiExchangeResult::Digest(
+    const std::string& scenario_name) const {
+  std::string out;
+  char line[96];
+  auto add = [&out, &line](const char* key, unsigned long long value) {
+    std::snprintf(line, sizeof(line), "%s=%llu\n", key, value);
+    out += line;
+  };
+  out += "# iri golden-run digest v1\n";
+  out += "scenario=" + scenario_name + "\n";
+  add("exchanges", exchanges.size());
+  std::snprintf(line, sizeof(line), "mrt_crc32=0x%08X\n", MrtCrc32());
+  out += line;
+  add("mrt_bytes", merged_mrt.size());
+  add("messages", total_messages);
+  add("events", total_events);
+  for (std::size_t c = 0; c < core::kNumCategories; ++c) {
+    std::snprintf(line, sizeof(line), "bin.%s=%llu\n",
+                  core::ToString(static_cast<core::Category>(c)),
+                  static_cast<unsigned long long>(
+                      combined_classifier_totals[c]));
+    out += line;
+  }
+  add("announcements", combined.announcements);
+  add("withdrawals", combined.withdrawals);
+  return out;
+}
+
+MultiExchangeResult MultiExchangeRunner::Run() {
+  const int k = std::max(1, config_.scenario.num_exchanges);
+
+  // One universe for every partition: the five collectors watched the same
+  // Internet. Generated once, copied into each partition.
+  const topology::Universe universe = topology::GenerateUniverse(
+      config_.scenario.topology, config_.scenario.duration);
+
+  std::vector<ExchangeRun> runs(static_cast<std::size_t>(k));
+  sim::ParallelFor(k, config_.threads, [&](int e) {
+    const ScenarioConfig part = PartitionConfig(config_.scenario, e);
+    ExchangeScenario scenario(part, universe);
+    ExchangeRun& run = runs[static_cast<std::size_t>(e)];
+    run.exchange = e;
+    run.sub_seed = part.seed;
+
+    mrt::Writer writer;  // in-memory
+    if (config_.capture_mrt) scenario.monitor().SetMrtWriter(&writer);
+    scenario.monitor().AddSink(
+        [&run](const core::ClassifiedEvent& ev) { run.counts.Add(ev); });
+    if (setup_) setup_(e, scenario);
+
+    scenario.Run();
+
+    run.classifier_totals = scenario.monitor().classifier().totals();
+    run.messages = scenario.monitor().messages_seen();
+    run.events = scenario.monitor().events_seen();
+    run.tasks_executed = scenario.scheduler().executed();
+    run.mrt = writer.buffer();
+  });
+
+  // The merge happens on the calling thread, in exchange order, after every
+  // worker has joined — output bytes cannot depend on interleaving.
+  MultiExchangeResult result;
+  result.exchanges = std::move(runs);
+  std::size_t mrt_bytes = 0;
+  for (const ExchangeRun& run : result.exchanges) {
+    mrt_bytes += run.mrt.size();
+  }
+  result.merged_mrt.reserve(mrt_bytes);
+  for (const ExchangeRun& run : result.exchanges) {
+    IRI_ASSERT(run.events == run.counts.Total(),
+               "per-exchange sink and monitor must agree on event count");
+    result.combined.Merge(run.counts);
+    for (std::size_t c = 0; c < core::kNumCategories; ++c) {
+      result.combined_classifier_totals[c] += run.classifier_totals[c];
+    }
+    result.merged_mrt.insert(result.merged_mrt.end(), run.mrt.begin(),
+                             run.mrt.end());
+    result.total_messages += run.messages;
+    result.total_events += run.events;
+  }
+  return result;
+}
+
+}  // namespace iri::workload

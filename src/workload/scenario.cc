@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "netbase/rng.h"
+
 namespace iri::workload {
 namespace {
 
@@ -778,6 +780,20 @@ void ExchangeScenario::PathoSpray() {
   for (auto& border : borders_[static_cast<std::size_t>(patho_provider_)]) {
     border->SprayWithdrawals(prefixes);
   }
+}
+
+std::uint64_t ExchangeSubSeed(std::uint64_t scenario_seed, int exchange) {
+  SplitMix64 stream(scenario_seed);
+  std::uint64_t sub_seed = stream.Next();
+  for (int i = 0; i < exchange; ++i) sub_seed = stream.Next();
+  return sub_seed;
+}
+
+ScenarioConfig PartitionConfig(const ScenarioConfig& config, int exchange) {
+  ScenarioConfig part = config;
+  part.num_exchanges = 1;
+  part.seed = ExchangeSubSeed(config.seed, exchange);
+  return part;
 }
 
 }  // namespace iri::workload

@@ -260,4 +260,20 @@ class ExchangeScenario {
   int SampleCustomer();
 };
 
+// --- multi-exchange partitioning -------------------------------------------
+//
+// The partitioned runner (workload/multi_exchange_runner.h) shards a
+// num_exchanges=K scenario into K independent single-exchange scenarios.
+// Each partition draws from its own decorrelated RNG stream so no draw in
+// one exchange can perturb another — the property that makes the parallel
+// schedule interleaving-independent (see DESIGN.md §8).
+
+// Sub-seed for exchange `e`: the (e+1)-th output of a SplitMix64 stream over
+// the scenario seed. Depends only on (seed, e), never on thread placement.
+std::uint64_t ExchangeSubSeed(std::uint64_t scenario_seed, int exchange);
+
+// The single-exchange partition of `config` for exchange `e`: identical
+// topology and knobs, num_exchanges=1, seed=ExchangeSubSeed(seed, e).
+ScenarioConfig PartitionConfig(const ScenarioConfig& config, int exchange);
+
 }  // namespace iri::workload

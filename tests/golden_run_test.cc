@@ -1,0 +1,144 @@
+// Golden-run regression suite: three canonical multi-exchange scenarios,
+// each locked to a committed digest (CRC-32 of the merged MRT byte stream
+// plus the classifier bin counts) in tests/golden/. Every scenario is
+// replayed at 1, 2 and 4 worker threads; all runs must reproduce the
+// committed digest byte for byte, which pins two claims at once:
+//
+//   1. behaviour: no code change may silently move any scenario output;
+//   2. determinism: the parallel multi-exchange runner's output is
+//      independent of thread count and interleaving.
+//
+// Intentional behaviour changes re-bless the digests with:
+//
+//   ./golden_run_test --regen
+//
+// which rewrites tests/golden/*.digest in the source tree (commit the diff
+// and explain the behaviour change in the PR). The determinism assertions
+// still run under --regen.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "workload/multi_exchange_runner.h"
+
+#ifndef IRI_GOLDEN_DIR
+#error "IRI_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace iri::workload {
+namespace {
+
+bool g_regen = false;
+
+struct GoldenCase {
+  const char* name;
+  MultiExchangeConfig (*make)();
+};
+
+// Small on purpose: each scenario runs three times per suite invocation
+// (and again under TSan in CI). Shapes cover the single-exchange classic,
+// the paper's five-collector campaign, and the pathological Provider-I day.
+MultiExchangeConfig BaselineSingle() {
+  MultiExchangeConfig cfg;
+  cfg.scenario.topology.scale = 1.0 / 256;
+  cfg.scenario.topology.num_providers = 6;
+  cfg.scenario.topology.seed = 1996;
+  cfg.scenario.seed = 42;
+  cfg.scenario.num_exchanges = 1;
+  cfg.scenario.duration = Duration::Hours(6);
+  return cfg;
+}
+
+MultiExchangeConfig FiveExchange() {
+  MultiExchangeConfig cfg;
+  cfg.scenario.topology.scale = 1.0 / 256;
+  cfg.scenario.topology.num_providers = 8;
+  cfg.scenario.topology.seed = 1997;
+  cfg.scenario.seed = 5;
+  cfg.scenario.num_exchanges = 5;
+  cfg.scenario.duration = Duration::Hours(4);
+  return cfg;
+}
+
+MultiExchangeConfig PathologicalDay() {
+  MultiExchangeConfig cfg;
+  cfg.scenario.topology.scale = 1.0 / 256;
+  cfg.scenario.topology.num_providers = 6;
+  cfg.scenario.topology.seed = 1998;
+  cfg.scenario.seed = 259;
+  cfg.scenario.num_exchanges = 2;
+  cfg.scenario.duration = Duration::Hours(4);
+  cfg.scenario.patho_enabled = true;
+  cfg.scenario.patho_spray_rate = 120;
+  return cfg;
+}
+
+std::string RunDigest(const GoldenCase& c, int threads) {
+  MultiExchangeConfig cfg = c.make();
+  cfg.threads = threads;
+  MultiExchangeRunner runner(std::move(cfg));
+  return runner.Run().Digest(c.name);
+}
+
+std::string GoldenPath(const GoldenCase& c) {
+  return std::string(IRI_GOLDEN_DIR) + "/" + c.name + ".digest";
+}
+
+class GoldenRun : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenRun, MatchesCommittedDigestAtEveryThreadCount) {
+  const GoldenCase& c = GetParam();
+  const std::string serial = RunDigest(c, 1);
+
+  // Determinism across the worker pool: identical output at 2 and 4
+  // threads, interleaving be damned. threads=0 takes the runner default
+  // (IRI_PARALLEL_EXCHANGES or hardware concurrency — ctest runs this
+  // binary a second time with IRI_PARALLEL_EXCHANGES=4 to pin the pool).
+  EXPECT_EQ(serial, RunDigest(c, 2)) << c.name << ": 2-thread run diverged";
+  EXPECT_EQ(serial, RunDigest(c, 4)) << c.name << ": 4-thread run diverged";
+  EXPECT_EQ(serial, RunDigest(c, 0)) << c.name << ": default-pool run diverged";
+
+  const std::string path = GoldenPath(c);
+  if (g_regen) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << serial;
+    std::printf("[regen] wrote %s\n", path.c_str());
+    return;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run ./golden_run_test --regen and commit the result";
+  std::stringstream committed;
+  committed << in.rdbuf();
+  EXPECT_EQ(committed.str(), serial)
+      << c.name << ": output drifted from the committed golden digest. If "
+      << "the behaviour change is intentional, re-bless with --regen.";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Canonical, GoldenRun,
+    ::testing::Values(GoldenCase{"baseline_single", &BaselineSingle},
+                      GoldenCase{"five_exchange", &FiveExchange},
+                      GoldenCase{"pathological_day", &PathologicalDay}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace iri::workload
+
+// Custom main so the binary accepts --regen (gtest_main stays unlinked
+// because this archive member is never pulled once main is defined here).
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") iri::workload::g_regen = true;
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,65 @@
+// The fork-join helper behind the partitioned multi-exchange runner. These
+// tests pin the contract the determinism argument rests on: every index runs
+// exactly once, one worker means a plain inline loop, and exceptions
+// propagate to the caller instead of vanishing on a pool thread.
+#include "sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace iri::sim {
+namespace {
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    std::vector<int> hits(97, 0);
+    ParallelFor(97, threads, [&hits](int i) {
+      // Each index owns its slot; no synchronization needed.
+      hits[static_cast<std::size_t>(i)] += 1;
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 97)
+        << "threads=" << threads;
+    for (int h : hits) EXPECT_EQ(h, 1) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, SingleWorkerRunsInOrderOnCallingThread) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&order](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroAndNegativeCountsAreNoOps) {
+  int calls = 0;
+  ParallelFor(0, 4, [&calls](int) { ++calls; });
+  ParallelFor(-3, 4, [&calls](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkStillCoversAllIndices) {
+  std::vector<int> hits(3, 0);
+  ParallelFor(3, 16, [&hits](int i) { hits[static_cast<std::size_t>(i)] += 1; });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  for (int threads : {1, 4}) {
+    EXPECT_THROW(
+        ParallelFor(8, threads,
+                    [](int i) {
+                      if (i == 5) throw std::runtime_error("partition failed");
+                    }),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DefaultParallelism, IsAtLeastOne) {
+  EXPECT_GE(DefaultParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace iri::sim

@@ -132,6 +132,48 @@ TEST(Scheduler, StepMovesTasksOutWithoutCopying) {
   EXPECT_EQ(copies, copies_after_scheduling);
 }
 
+TEST(Scheduler, TaskScheduledAtHorizonFromInsideStepStillRunsThisCall) {
+  // The starvation edge: RunUntil(end) must re-read heap_.front() after
+  // every Step(), so a task that a running task schedules at *exactly* `end`
+  // is still executed by this RunUntil call — not stranded until the next
+  // one. A flush timer that re-arms for the horizon boundary would
+  // otherwise silently slip a whole horizon.
+  Scheduler sched;
+  std::vector<int> fired;
+  sched.At(T(3), [&] {
+    fired.push_back(1);
+    sched.At(T(5), [&] {  // exactly the horizon passed to RunUntil below
+      fired.push_back(2);
+      sched.At(T(5), [&] { fired.push_back(3); });  // chained, still == end
+    });
+  });
+  sched.RunUntil(T(5));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), T(5));
+  EXPECT_EQ(sched.pending(), 0u);
+
+  // One tick past the horizon stays queued for the next call.
+  sched.At(T(5) + Duration::Nanos(1), [&] { fired.push_back(4); });
+  sched.RunUntil(T(5));
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, HorizonChainAcrossManyTasksDrainsCompletely) {
+  // Heavier version of the starvation edge: a chain of N tasks, each
+  // scheduling the next at the same horizon time, must fully drain in one
+  // RunUntil call (the loop condition is re-evaluated every iteration).
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 500) sched.At(T(9), chain);
+  };
+  sched.At(T(9), chain);
+  sched.RunUntil(T(9));
+  EXPECT_EQ(depth, 500);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
 TEST(Scheduler, TasksCanScheduleTasks) {
   Scheduler sched;
   int depth = 0;

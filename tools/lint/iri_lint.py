@@ -17,6 +17,14 @@ invariants that make that true and that clang-tidy cannot express:
                  core/snapshot, core/monitor, src/mrt/, tools/). Hash-order
                  iteration varies across libstdc++ versions and would break
                  byte-identical scenario outputs.
+  threads        No raw threading or shared-mutable-state primitives
+                 (std::thread, std::jthread, std::async, mutexes,
+                 condition variables, std::atomic) outside
+                 src/sim/parallel.cc. Partition parallelism through
+                 sim::ParallelFor is the only sanctioned concurrency: it is
+                 the shape whose outputs are interleaving-independent
+                 (DESIGN.md §8). The invariant-audit counters in
+                 core/invariants.h keep their std::atomic exemption.
   pragma-once    Every header under src/ starts its include guard with
                  `#pragma once`.
   include-layering
@@ -133,6 +141,30 @@ CLOCK_PATTERNS = [
     (re.compile(r"(?<![\w:])(?:localtime|gmtime)(?:_r)?\s*\("), "localtime()/gmtime()"),
 ]
 
+# Raw threading lives in exactly one file: the fork-join pool behind the
+# partitioned multi-exchange runner. Everything else must go through
+# sim::ParallelFor so parallelism stays interleaving-independent.
+THREAD_EXEMPT = {"src/sim/parallel.cc"}
+# std::atomic additionally allowed for the invariant-audit counters.
+ATOMIC_EXEMPT = THREAD_EXEMPT | {"src/core/invariants.h"}
+THREAD_PATTERNS = [
+    (re.compile(r"\bstd::(?:jthread|thread)\b"), "std::thread/std::jthread"),
+    (re.compile(r"\bstd::async\b"), "std::async"),
+    (re.compile(r"\bstd::(?:recursive_|timed_|shared_)?mutex\b"),
+     "std::*mutex"),
+    (re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+     "std::condition_variable"),
+    (re.compile(r"\bstd::(?:counting_|binary_)?semaphore\b"),
+     "std::semaphore"),
+    (re.compile(r"#\s*include\s*<(?:thread|future|mutex|shared_mutex|"
+                r"condition_variable|stop_token|semaphore|barrier|latch)>"),
+     "threading header"),
+]
+ATOMIC_PATTERNS = [
+    (re.compile(r"\bstd::atomic(?:_ref|_flag)?\b"), "std::atomic"),
+    (re.compile(r"#\s*include\s*<atomic>"), "<atomic>"),
+]
+
 # Files that produce user-visible reports or on-disk logs; iteration order
 # inside them must be deterministic.
 OUTPUT_PATH_RES = [
@@ -194,6 +226,20 @@ def lint_file(path: pathlib.Path, rel: str, text: str) -> list[Finding]:
                     report(line_no, "wall-clock",
                            f"{what} outside netbase/time.*; iri runs on "
                            "simulated time only")
+        if rel not in THREAD_EXEMPT:
+            for pattern, what in THREAD_PATTERNS:
+                if pattern.search(line):
+                    report(line_no, "threads",
+                           f"{what} outside sim/parallel.cc; use "
+                           "sim::ParallelFor over independent partitions "
+                           "(the only interleaving-independent shape)")
+        if rel not in ATOMIC_EXEMPT:
+            for pattern, what in ATOMIC_PATTERNS:
+                if pattern.search(line):
+                    report(line_no, "threads",
+                           f"{what} outside sim/parallel.cc and "
+                           "core/invariants.h; shared mutable state breaks "
+                           "bit-for-bit reproducibility")
 
     # unordered-iteration ---------------------------------------------------
     if any(r.search(rel) for r in OUTPUT_PATH_RES):
@@ -286,6 +332,33 @@ SELF_TEST_CASES = {
         '#include "bgp/rib.h"\n'
         '#include "core/invariants.h"\n',
         {"include-layering"},
+    ),
+    "src/core/bad_threads.cc": (
+        "#include <thread>\n"
+        "#include <mutex>\n"
+        "std::mutex m;\n"
+        "void Go() { std::thread t([] {}); t.join(); }\n",
+        {"threads"},
+    ),
+    "src/workload/bad_atomic.cc": (
+        "#include <atomic>\n"
+        "std::atomic<int> shared_counter{0};\n",
+        {"threads"},
+    ),
+    # The one sanctioned home for raw threading: the fork-join pool.
+    "src/sim/parallel.cc": (
+        "#include <atomic>\n"
+        "#include <thread>\n"
+        "void Pool() { std::thread t([] {}); t.join(); }\n",
+        set(),
+    ),
+    # Invariant-audit counters keep their std::atomic exemption (but not a
+    # std::thread one).
+    "src/core/invariants.h": (
+        "#pragma once\n"
+        "#include <atomic>\n"
+        "inline std::atomic<unsigned long> g_audit_count{0};\n",
+        set(),
     ),
     "src/bgp/clean.h": (
         "#pragma once\n"
