@@ -58,5 +58,8 @@ int main(int argc, char** argv) {
               min_patho * 100, max_patho * 100);
   std::printf("combined: %llu events across 5 collectors\n",
               static_cast<unsigned long long>(result.combined.Total()));
+  std::printf("\nmerged metrics snapshot (fixed exchange order, "
+              "thread-count independent):\n%s",
+              result.metrics.SnapshotText().c_str());
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "core/report.h"
 #include "core/stats.h"
 #include "mrt/log.h"
+#include "obs/metrics.h"
 #include "workload/multi_exchange_runner.h"
 
 int main(int argc, char** argv) {
@@ -74,6 +75,9 @@ int main(int argc, char** argv) {
   std::printf("\nlive taxonomy (all exchanges merged):\n%s\n",
               core::FormatCategoryReport(result.combined).c_str());
 
+  std::printf("merged deterministic metrics snapshot:\n%s\n",
+              result.metrics.SnapshotText().c_str());
+
   // --- offline replay, segment by segment ---
   // Exchanges reuse collector-local peer ids, so each exchange's segment
   // replays through its own fresh monitor (one classifier per collector,
@@ -85,6 +89,8 @@ int main(int argc, char** argv) {
   for (const auto& ex : result.exchanges) {
     mrt::Reader reader(ex.mrt);
     core::ExchangeMonitor offline;
+    obs::Registry offline_metrics;
+    offline.AttachMetrics(&offline_metrics);
     core::CategoryCounts counts;
     offline.AddSink(
         [&counts](const core::ClassifiedEvent& ev) { counts.Add(ev); });
@@ -99,10 +105,17 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < core::kNumCategories; ++i) {
       seg_match = seg_match && counts.by_category[i] == ex.counts.by_category[i];
     }
-    std::printf("exchange %d: offline %s live (%llu events)\n", ex.exchange,
-                seg_match ? "matches" : "DIFFERS FROM",
-                static_cast<unsigned long long>(counts.Total()));
-    match = match && seg_match;
+    // Differential check on the instruments too: everything under
+    // "monitor." is fed identically by the live tap and offline Replay.
+    const bool metrics_match =
+        offline_metrics.SnapshotText(false, "monitor.") ==
+        ex.metrics.SnapshotText(false, "monitor.");
+    std::printf("exchange %d: offline %s live (%llu events; monitor metrics "
+                "%s)\n",
+                ex.exchange, seg_match ? "matches" : "DIFFERS FROM",
+                static_cast<unsigned long long>(counts.Total()),
+                metrics_match ? "identical" : "DIFFER");
+    match = match && seg_match && metrics_match;
     replayed.Merge(counts);
   }
   std::printf(

@@ -9,6 +9,7 @@ void Rib::AddPeer(PeerId peer, IPv4Address router_id) {
 }
 
 RibChange Rib::Announce(PeerId peer, const Route& route) {
+  obs::ScopedTimer timer(&announce_site_, 1);
   IRI_ASSERT(peers_.contains(peer),
              "Announce from a peer never registered with AddPeer");
   Entry* entry = table_.Find(route.prefix);
@@ -36,6 +37,7 @@ RibChange Rib::Announce(PeerId peer, const Route& route) {
 }
 
 RibChange Rib::Withdraw(PeerId peer, const Prefix& prefix) {
+  obs::ScopedTimer timer(&withdraw_site_, 1);
   Entry* entry = table_.Find(prefix);
   if (entry == nullptr) return {};
   const std::optional<Candidate> old_best = BestOf(*entry);
@@ -83,6 +85,7 @@ std::vector<std::pair<Prefix, RibChange>> Rib::ClearPeer(PeerId peer) {
 }
 
 const Candidate* Rib::Best(const Prefix& prefix) const {
+  obs::ScopedTimer timer(&lookup_site_, 1);
   const Entry* entry = table_.Find(prefix);
   if (entry == nullptr || entry->best < 0) return nullptr;
   return &entry->candidates[static_cast<std::size_t>(entry->best)];

@@ -17,6 +17,7 @@
 #include "bgp/decision.h"
 #include "bgp/route.h"
 #include "netbase/radix_trie.h"
+#include "obs/profile.h"
 
 namespace iri::bgp {
 
@@ -36,6 +37,18 @@ class Rib {
   void AddPeer(PeerId peer, IPv4Address router_id);
 
   bool HasPeer(PeerId peer) const { return peers_.contains(peer); }
+
+  // Resolves the rib.announce / rib.withdraw / rib.lookup profile sites
+  // against a (partition-private) registry. Null detaches.
+  void AttachProfile(obs::Registry* registry) {
+    if (registry == nullptr) {
+      announce_site_ = withdraw_site_ = lookup_site_ = obs::ProfileSite{};
+      return;
+    }
+    announce_site_ = obs::MakeProfileSite(*registry, "rib.announce");
+    withdraw_site_ = obs::MakeProfileSite(*registry, "rib.withdraw");
+    lookup_site_ = obs::MakeProfileSite(*registry, "rib.lookup");
+  }
 
   // Applies an announcement from `peer`. Replaces any previous route from
   // the same peer for the same prefix (implicit withdrawal).
@@ -111,6 +124,9 @@ class Rib {
   std::unordered_map<PeerId, IPv4Address> peers_;
   std::unordered_map<PeerId, std::unordered_set<Prefix>> peer_prefixes_;
   std::size_t num_routes_ = 0;
+  obs::ProfileSite announce_site_;
+  obs::ProfileSite withdraw_site_;
+  obs::ProfileSite lookup_site_;
 };
 
 }  // namespace iri::bgp

@@ -29,6 +29,12 @@ bool IsLegalTransition(SessionState from, SessionState to) {
 SessionFsm::TransitionAudit::~TransitionAudit() {
   IRI_ASSERT(IsLegalTransition(from_, fsm_.state_),
              "session FSM performed an illegal state transition");
+  if (from_ != fsm_.state_) {
+    IRI_TRACE(fsm_.tracer_, now_, "fsm",
+              .Str("session", fsm_.label_)
+              .Str("from", ToString(from_))
+              .Str("to", ToString(fsm_.state_)));
+  }
 }
 
 const char* ToString(SessionState s) {
@@ -43,13 +49,13 @@ const char* ToString(SessionState s) {
 }
 
 void SessionFsm::Start(TimePoint now, Actions& /*out*/) {
-  TransitionAudit audit(*this);
+  TransitionAudit audit(*this, now);
   if (state_ != SessionState::kIdle) return;
   EnterConnect(now);
 }
 
 void SessionFsm::Stop(TimePoint now, Actions& out) {
-  TransitionAudit audit(*this);
+  TransitionAudit audit(*this, now);
   if (state_ == SessionState::kEstablished || state_ == SessionState::kOpenSent ||
       state_ == SessionState::kOpenConfirm) {
     TearDown(now, NotifyCode::kCease, out);
@@ -66,7 +72,7 @@ void SessionFsm::EnterConnect(TimePoint now) {
 }
 
 void SessionFsm::OnTransportUp(TimePoint now, Actions& out) {
-  TransitionAudit audit(*this);
+  TransitionAudit audit(*this, now);
   if (state_ != SessionState::kConnect) return;
   state_ = SessionState::kOpenSent;
   connect_retry_deadline_ = TimePoint::Max();
@@ -76,7 +82,7 @@ void SessionFsm::OnTransportUp(TimePoint now, Actions& out) {
 }
 
 void SessionFsm::OnTransportDown(TimePoint now, Actions& out) {
-  TransitionAudit audit(*this);
+  TransitionAudit audit(*this, now);
   if (state_ == SessionState::kEstablished) {
     out.push_back({ActionType::kSessionDown,
                    {NotifyCode::kCease, /*subcode=*/0}});
@@ -107,7 +113,7 @@ void SessionFsm::HandlePeerOpen(TimePoint now, const OpenMessage& open,
 }
 
 void SessionFsm::OnMessage(TimePoint now, const Message& msg, Actions& out) {
-  TransitionAudit audit(*this);
+  TransitionAudit audit(*this, now);
   switch (state_) {
     case SessionState::kIdle:
       // Messages before the session exists are a simulator bug, not a peer
@@ -171,7 +177,7 @@ void SessionFsm::OnMessage(TimePoint now, const Message& msg, Actions& out) {
 }
 
 void SessionFsm::OnTimer(TimePoint now, Actions& out) {
-  TransitionAudit audit(*this);
+  TransitionAudit audit(*this, now);
   if (state_ == SessionState::kConnect && now >= connect_retry_deadline_) {
     // Transport still not up; keep waiting another interval. The simulator
     // decides when OnTransportUp happens; this just re-arms the deadline.

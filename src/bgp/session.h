@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bgp/message.h"
 #include "netbase/time.h"
+#include "obs/trace.h"
 
 namespace iri::bgp {
 
@@ -63,6 +65,14 @@ class SessionFsm {
   SessionState state() const { return state_; }
   std::uint16_t negotiated_hold_time_s() const { return negotiated_hold_s_; }
 
+  // Attaches the trace sink for state transitions. `label` names this
+  // session in the stream (the simulator uses "<router>/<peer>"); every
+  // observed from != to transition emits an "fsm" event. Null detaches.
+  void SetTracer(obs::Tracer* tracer, std::string label) {
+    tracer_ = tracer;
+    label_ = std::move(label);
+  }
+
   // Administrative start: Idle -> Connect (transport setup begins).
   void Start(TimePoint now, Actions& out);
 
@@ -88,13 +98,14 @@ class SessionFsm {
   TimePoint NextDeadline() const;
 
  private:
-  // RAII audit for public event handlers: captures the state on entry and
+  // RAII audit for public event handlers: captures the state on entry,
   // IRI_ASSERTs the (entry, exit) pair against IsLegalTransition when the
-  // handler returns.
+  // handler returns, and emits an "fsm" trace event on every observed
+  // state change.
   class TransitionAudit {
    public:
-    explicit TransitionAudit(const SessionFsm& fsm)
-        : fsm_(fsm), from_(fsm.state_) {}
+    TransitionAudit(const SessionFsm& fsm, TimePoint now)
+        : fsm_(fsm), from_(fsm.state_), now_(now) {}
     ~TransitionAudit();
     TransitionAudit(const TransitionAudit&) = delete;
     TransitionAudit& operator=(const TransitionAudit&) = delete;
@@ -102,6 +113,7 @@ class SessionFsm {
    private:
     const SessionFsm& fsm_;
     SessionState from_;
+    TimePoint now_;
   };
 
   void EnterConnect(TimePoint now);
@@ -116,6 +128,8 @@ class SessionFsm {
   SessionConfig config_;
   SessionState state_ = SessionState::kIdle;
   std::uint16_t negotiated_hold_s_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  std::string label_;
 
   TimePoint hold_deadline_ = TimePoint::Max();
   TimePoint keepalive_deadline_ = TimePoint::Max();

@@ -11,19 +11,44 @@ void ExchangeMonitor::Attach(sim::Router& route_server) {
       });
 }
 
+void ExchangeMonitor::AttachMetrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    messages_metric_ = events_metric_ = mrt_records_metric_ = nullptr;
+    category_metrics_.fill(nullptr);
+    ingest_site_ = obs::ProfileSite{};
+    return;
+  }
+  messages_metric_ = &registry->GetCounter("monitor.messages");
+  events_metric_ = &registry->GetCounter("monitor.events");
+  mrt_records_metric_ = &registry->GetCounter("mrt.records");
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    category_metrics_[i] = &registry->GetCounter(
+        std::string("monitor.bin.") + ToString(static_cast<Category>(i)));
+  }
+  ingest_site_ = obs::MakeProfileSite(*registry, "monitor.ingest");
+}
+
 void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
                              bgp::Asn peer_asn,
                              const bgp::UpdateMessage& update) {
+  obs::ScopedTimer timer(&ingest_site_);
   ++messages_seen_;
+  if (messages_metric_ != nullptr) messages_metric_->Add(1);
   if (mrt_ != nullptr) {
     mrt_->LogMessage(now, peer, static_cast<std::uint16_t>(peer_asn),
                      static_cast<std::uint16_t>(local_asn_), update);
+    if (mrt_records_metric_ != nullptr) mrt_records_metric_->Add(1);
   }
   scratch_.clear();
   ExplodeUpdate(now, peer, peer_asn, update, scratch_);
+  timer.AddItems(scratch_.size());
   for (const UpdateEvent& ev : scratch_) {
     const ClassifiedEvent classified = classifier_.Classify(ev);
     ++events_seen_;
+    if (events_metric_ != nullptr) {
+      events_metric_->Add(1);
+      category_metrics_[static_cast<std::size_t>(classified.category)]->Add(1);
+    }
     for (const Sink& sink : sinks_) sink(classified);
   }
 }

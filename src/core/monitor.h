@@ -8,12 +8,15 @@
 // logs".
 #pragma once
 
+#include <array>
 #include <functional>
 #include <vector>
 
 #include "core/classifier.h"
 #include "core/event.h"
 #include "mrt/log.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sim/router.h"
 
 namespace iri::core {
@@ -32,6 +35,14 @@ class ExchangeMonitor {
 
   // Mirrors every tapped UPDATE message into an MRT log. Not owned.
   void SetMrtWriter(mrt::Writer* writer) { mrt_ = writer; }
+
+  // Attaches the monitor.* instruments (message/event counters, one counter
+  // per taxonomy bin, the monitor.ingest profile site). Every counter the
+  // live tap feeds is also fed by offline Replay(), so a live run and its
+  // MRT replay produce identical "monitor."-prefixed snapshots — the
+  // replay-differential test's contract. MRT record accounting deliberately
+  // lives under "mrt.records" (outside the prefix): replay has no writer.
+  void AttachMetrics(obs::Registry* registry);
 
   // Feeds one update message through classification and the sinks — used
   // both by the live tap and by offline MRT replay.
@@ -54,6 +65,11 @@ class ExchangeMonitor {
   std::uint64_t events_seen_ = 0;
   std::uint64_t messages_seen_ = 0;
   std::vector<UpdateEvent> scratch_;
+  obs::Counter* messages_metric_ = nullptr;
+  obs::Counter* events_metric_ = nullptr;
+  obs::Counter* mrt_records_metric_ = nullptr;
+  std::array<obs::Counter*, kNumCategories> category_metrics_{};
+  obs::ProfileSite ingest_site_;
 };
 
 }  // namespace iri::core

@@ -1,8 +1,15 @@
 #include "netbase/time.h"
 
 #include <cstdio>
+#include <ctime>
 
 namespace iri {
+
+std::int64_t WallClockNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
 
 std::string FormatScenarioTime(TimePoint t) {
   const std::int64_t total_ms = t.nanos() / 1'000'000;

@@ -88,4 +88,10 @@ class TimePoint {
 // by the density and week figures.
 std::string FormatScenarioTime(TimePoint t);
 
+// Monotonic wall-clock nanoseconds, for the profiling layer's opt-in
+// wall-time mode (obs/profile.h) only. This is the single sanctioned
+// wall-clock read in the tree — the lint's wall-clock rule exempts exactly
+// netbase/time.{h,cc} — and it must never feed simulated time.
+std::int64_t WallClockNanos();
+
 }  // namespace iri

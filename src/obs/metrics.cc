@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace iri::obs {
+
+namespace {
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void AppendI64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const std::int64_t> upper_edges)
+    : edges_(upper_edges.begin(), upper_edges.end()),
+      buckets_(upper_edges.size() + 1, 0) {
+  IRI_ASSERT(std::is_sorted(edges_.begin(), edges_.end()),
+             "histogram upper edges must be ascending");
+}
+
+void Histogram::Observe(std::int64_t v) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  buckets_[static_cast<std::size_t>(it - edges_.begin())] += 1;
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  IRI_ASSERT(edges_ == other.edges_,
+             "histogram merge requires identical bucket edges");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Registry::Instrument& Registry::Register(const std::string& name,
+                                         Instrument::Kind kind,
+                                         Stability stability) {
+  auto it = instruments_.find(name);
+  if (it != instruments_.end()) {
+    IRI_ASSERT(it->second->kind == kind,
+               "metrics name re-registered as a different instrument kind");
+    return *it->second;
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->kind = kind;
+  inst->stability = stability;
+  return *instruments_.emplace(name, std::move(inst)).first->second;
+}
+
+Counter& Registry::GetCounter(const std::string& name, Stability stability) {
+  return Register(name, Instrument::Kind::kCounter, stability).counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, Stability stability) {
+  return Register(name, Instrument::Kind::kGauge, stability).gauge;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::span<const std::int64_t> upper_edges,
+                                  Stability stability) {
+  Instrument& inst = Register(name, Instrument::Kind::kHistogram, stability);
+  if (inst.histogram == nullptr) {
+    inst.histogram = std::make_unique<Histogram>(upper_edges);
+  } else {
+    IRI_ASSERT(std::equal(upper_edges.begin(), upper_edges.end(),
+                          inst.histogram->edges().begin(),
+                          inst.histogram->edges().end()),
+               "histogram re-registered with different bucket edges");
+  }
+  return *inst.histogram;
+}
+
+void Registry::Merge(const Registry& other) {
+  for (const auto& [name, inst] : other.instruments_) {
+    switch (inst->kind) {
+      case Instrument::Kind::kCounter:
+        GetCounter(name, inst->stability).Add(inst->counter.value());
+        break;
+      case Instrument::Kind::kGauge:
+        GetGauge(name, inst->stability).Add(inst->gauge.value());
+        break;
+      case Instrument::Kind::kHistogram:
+        GetHistogram(name, inst->histogram->edges(), inst->stability)
+            .Merge(*inst->histogram);
+        break;
+    }
+  }
+}
+
+std::string Registry::SnapshotText(bool include_wall_clock,
+                                   const std::string& prefix) const {
+  std::string out;
+  for (const auto& [name, inst] : instruments_) {
+    if (!include_wall_clock && inst->stability == Stability::kWallClock) {
+      continue;
+    }
+    if (!prefix.empty() && name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    switch (inst->kind) {
+      case Instrument::Kind::kCounter:
+        out += "counter ";
+        out += name;
+        out += ' ';
+        AppendU64(out, inst->counter.value());
+        break;
+      case Instrument::Kind::kGauge:
+        out += "gauge ";
+        out += name;
+        out += ' ';
+        AppendI64(out, inst->gauge.value());
+        break;
+      case Instrument::Kind::kHistogram: {
+        const Histogram& h = *inst->histogram;
+        out += "hist ";
+        out += name;
+        out += " count=";
+        AppendU64(out, h.count());
+        out += " sum=";
+        AppendI64(out, h.sum());
+        for (std::size_t i = 0; i < h.edges().size(); ++i) {
+          out += " le";
+          AppendI64(out, h.edges()[i]);
+          out += '=';
+          AppendU64(out, h.buckets()[i]);
+        }
+        out += " inf=";
+        AppendU64(out, h.buckets().back());
+        break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::SnapshotJson(bool include_wall_clock) const {
+  std::string counters, gauges, histograms;
+  for (const auto& [name, inst] : instruments_) {
+    if (!include_wall_clock && inst->stability == Stability::kWallClock) {
+      continue;
+    }
+    switch (inst->kind) {
+      case Instrument::Kind::kCounter:
+        if (!counters.empty()) counters += ',';
+        counters += '"';
+        counters += name;
+        counters += "\":";
+        AppendU64(counters, inst->counter.value());
+        break;
+      case Instrument::Kind::kGauge:
+        if (!gauges.empty()) gauges += ',';
+        gauges += '"';
+        gauges += name;
+        gauges += "\":";
+        AppendI64(gauges, inst->gauge.value());
+        break;
+      case Instrument::Kind::kHistogram: {
+        const Histogram& h = *inst->histogram;
+        if (!histograms.empty()) histograms += ',';
+        histograms += '"';
+        histograms += name;
+        histograms += "\":{\"count\":";
+        AppendU64(histograms, h.count());
+        histograms += ",\"sum\":";
+        AppendI64(histograms, h.sum());
+        histograms += ",\"edges\":[";
+        for (std::size_t i = 0; i < h.edges().size(); ++i) {
+          if (i != 0) histograms += ',';
+          AppendI64(histograms, h.edges()[i]);
+        }
+        histograms += "],\"buckets\":[";
+        for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+          if (i != 0) histograms += ',';
+          AppendU64(histograms, h.buckets()[i]);
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  std::string out = "{\"counters\":{";
+  out += counters;
+  out += "},\"gauges\":{";
+  out += gauges;
+  out += "},\"histograms\":{";
+  out += histograms;
+  out += "}}";
+  return out;
+}
+
+}  // namespace iri::obs

@@ -1,0 +1,16 @@
+#include "obs/profile.h"
+
+namespace iri::obs {
+
+ProfileSite MakeProfileSite(Registry& registry, const std::string& name) {
+  ProfileSite site;
+  site.calls = &registry.GetCounter("profile." + name + ".calls");
+  site.items = &registry.GetCounter("profile." + name + ".items");
+  if (registry.wall_clock_profiling()) {
+    site.wall_ns = &registry.GetCounter("profile." + name + ".wall_ns",
+                                        Stability::kWallClock);
+  }
+  return site;
+}
+
+}  // namespace iri::obs

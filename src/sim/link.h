@@ -10,10 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "netbase/rng.h"
 #include "netbase/time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 
 namespace iri::sim {
@@ -36,6 +39,12 @@ class Link {
   // this adjacency (each router numbers its own peers).
   void AttachA(LinkEndpoint* ep, std::uint32_t peer_id) { a_ = {ep, peer_id}; }
   void AttachB(LinkEndpoint* ep, std::uint32_t peer_id) { b_ = {ep, peer_id}; }
+
+  // Attaches metrics (link.* counters, shared across all links on the
+  // registry) and fail/restore trace events tagged with `name`. Either
+  // pointer may be null.
+  void AttachObservability(obs::Registry* registry, obs::Tracer* tracer,
+                           std::string name);
 
   bool up() const { return up_; }
   std::uint64_t messages_carried() const { return messages_carried_; }
@@ -66,6 +75,12 @@ class Link {
   std::uint64_t epoch_ = 0;  // bumped on every Fail; stale deliveries dropped
   std::uint64_t messages_carried_ = 0;
   std::uint64_t bytes_carried_ = 0;
+  std::string name_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* fails_ = nullptr;
+  obs::Counter* restores_ = nullptr;
+  obs::Counter* messages_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
 };
 
 // Poisson leased-line failure process: exponentially distributed time to

@@ -34,7 +34,40 @@ bgp::PeerId Router::AttachLink(Link& link, bool side_a, bgp::Asn remote_asn,
   // is modeled as the remote interface; we only need a deterministic
   // tie-break value, so derive it from the remote ASN and peer id.
   rib_.AddPeer(id, IPv4Address((remote_asn << 8) | (id & 0xFF)));
+  peers_[id].fsm.SetTracer(tracer_, PeerLabel(id));
   return id;
+}
+
+std::string Router::PeerLabel(bgp::PeerId id) const {
+  return config_.name + "/peer" + std::to_string(id);
+}
+
+void Router::AttachObservability(obs::Registry* registry,
+                                 obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    metrics_ = RouterMetrics{};
+    encode_site_ = decode_site_ = obs::ProfileSite{};
+    rib_.AttachProfile(nullptr);
+  } else {
+    metrics_.messages_rx = &registry->GetCounter("router.messages_rx");
+    metrics_.messages_tx = &registry->GetCounter("router.messages_tx");
+    metrics_.updates_rx = &registry->GetCounter("router.updates_rx");
+    metrics_.updates_tx = &registry->GetCounter("router.updates_tx");
+    metrics_.decode_failures = &registry->GetCounter("router.decode_failures");
+    metrics_.session_ups = &registry->GetCounter("router.session_ups");
+    metrics_.session_downs = &registry->GetCounter("router.session_downs");
+    metrics_.crashes = &registry->GetCounter("router.crashes");
+    metrics_.damped_updates = &registry->GetCounter("router.damped_updates");
+    metrics_.backlog_high_events =
+        &registry->GetCounter("router.backlog_high_events");
+    encode_site_ = obs::MakeProfileSite(*registry, "codec.encode");
+    decode_site_ = obs::MakeProfileSite(*registry, "codec.decode");
+    rib_.AttachProfile(registry);
+  }
+  for (bgp::PeerId id = 0; id < peers_.size(); ++id) {
+    peers_[id].fsm.SetTracer(tracer_, PeerLabel(id));
+  }
 }
 
 void Router::Originate(const bgp::Route& route) {
@@ -61,6 +94,7 @@ void Router::Originate(const bgp::Route& route) {
   const bgp::RibChange change = rib_.Announce(bgp::kLocalPeer, local);
   if (suppressed) {
     ++stats_.damped_updates;
+    if (metrics_.damped_updates) metrics_.damped_updates->Add(1);
     // Re-advertise when the dampener releases the route — the "legitimate
     // announcements delayed" cost the paper warns about.
     const TimePoint reuse =
@@ -154,10 +188,16 @@ void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) {
   if (crashed_) return;
   Peer& p = peers_[peer];
   ++stats_.messages_rx;
+  if (metrics_.messages_rx) metrics_.messages_rx->Add(1);
 
-  auto msg = bgp::Decode(bytes);
+  std::optional<bgp::Message> msg;
+  {
+    obs::ScopedTimer timer(&decode_site_, bytes.size());
+    msg = bgp::Decode(bytes);
+  }
   if (!msg) {
     ++stats_.decode_failures;
+    if (metrics_.decode_failures) metrics_.decode_failures->Add(1);
     return;
   }
 
@@ -180,6 +220,7 @@ void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) {
   if (was_established && p.established) {
     if (const auto* u = std::get_if<bgp::UpdateMessage>(&*msg)) {
       ++stats_.updates_rx;
+      if (metrics_.updates_rx) metrics_.updates_rx->Add(1);
       if (tap_) tap_(sched_.Now(), peer, p.remote_asn, *u);
       ProcessUpdate(peer, *u);
     }
@@ -209,11 +250,13 @@ void Router::HandleFsmActions(bgp::PeerId id,
       case bgp::SessionFsm::ActionType::kSessionUp:
         p.established = true;
         ++stats_.session_ups;
+        if (metrics_.session_ups) metrics_.session_ups->Add(1);
         OnSessionUp(id);
         break;
       case bgp::SessionFsm::ActionType::kSessionDown:
         p.established = false;
         ++stats_.session_downs;
+        if (metrics_.session_downs) metrics_.session_downs->Add(1);
         OnSessionDown(id);
         break;
     }
@@ -265,12 +308,19 @@ void Router::SendMessage(bgp::PeerId id, const bgp::Message& msg,
   Peer& p = peers_[id];
   if (p.link == nullptr || !p.link->up()) return;
   ++stats_.messages_tx;
+  if (metrics_.messages_tx) metrics_.messages_tx->Add(1);
   if (const auto* u = std::get_if<bgp::UpdateMessage>(&msg)) {
     ++stats_.updates_tx;
+    if (metrics_.updates_tx) metrics_.updates_tx->Add(1);
     stats_.prefixes_announced_tx += u->nlri.size();
     stats_.prefixes_withdrawn_tx += u->withdrawn.size();
   }
-  auto bytes = bgp::Encode(msg);
+  std::vector<std::uint8_t> bytes;
+  {
+    obs::ScopedTimer timer(&encode_site_);
+    bytes = bgp::Encode(msg);
+    timer.AddItems(bytes.size());
+  }
   const TimePoint now = sched_.Now();
   // Non-priority traffic queues behind the CPU backlog; this is the delay
   // that starves KEEPALIVEs on busy route-caching routers.
@@ -328,6 +378,7 @@ void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update) {
           dampener_.OnAnnounce({nlri, from}, sched_.Now(), attr_change);
       if (verdict != bgp::DampVerdict::kPass) {
         ++stats_.damped_updates;
+        if (metrics_.damped_updates) metrics_.damped_updates->Add(1);
         // Suppressed: the route is held down and not installed.
         const bgp::RibChange change = rib_.Withdraw(from, nlri);
         if (change.best_changed) changed.push_back(nlri);
@@ -449,11 +500,19 @@ void Router::FullDump(bgp::PeerId id) {
   rib_.VisitBest([&prefixes](const Prefix& p, const bgp::Candidate&) {
     prefixes.push_back(p);
   });
+  IRI_TRACE(tracer_, sched_.Now(), "redump_start",
+            .Str("session", PeerLabel(id)).U64("prefixes", prefixes.size()));
   Peer& p = peers_[id];
+  std::uint64_t exported_count = 0;
   for (const Prefix& prefix : prefixes) {
     auto exported = ExportRoute(p, prefix);
-    if (exported) EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported)});
+    if (exported) {
+      ++exported_count;
+      EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported)});
+    }
   }
+  IRI_TRACE(tracer_, sched_.Now(), "redump_end",
+            .Str("session", PeerLabel(id)).U64("exported", exported_count));
 }
 
 // -------------------------------------------------------------- CPU model
@@ -462,6 +521,21 @@ TimePoint Router::ChargeCpu(Duration cost) {
   const TimePoint now = sched_.Now();
   if (busy_until_ < now) busy_until_ = now;
   busy_until_ += cost;
+  // Backlog beyond one keepalive interval means outbound KEEPALIVEs are
+  // consistently late — the precondition of the hold-timer cascade (§3).
+  // Edge-triggered so a sustained storm traces as one high/drained pair.
+  const Duration backlog = busy_until_ - now;
+  const Duration starvation = Duration::Seconds(config_.hold_time_s / 3.0);
+  if (!backlog_high_ && backlog > starvation) {
+    backlog_high_ = true;
+    if (metrics_.backlog_high_events) metrics_.backlog_high_events->Add(1);
+    IRI_TRACE(tracer_, now, "backlog_high",
+              .Str("router", config_.name).I64("backlog_ns", backlog.nanos()));
+  } else if (backlog_high_ && backlog <= starvation) {
+    backlog_high_ = false;
+    IRI_TRACE(tracer_, now, "backlog_drained",
+              .Str("router", config_.name).I64("backlog_ns", backlog.nanos()));
+  }
   if (config_.crash_backlog > Duration() &&
       busy_until_ - now > config_.crash_backlog) {
     Crash();
@@ -473,6 +547,10 @@ void Router::Crash() {
   if (crashed_) return;
   crashed_ = true;
   ++stats_.crashes;
+  if (metrics_.crashes) metrics_.crashes->Add(1);
+  IRI_TRACE(tracer_, sched_.Now(), "router_crash",
+            .Str("router", config_.name)
+            .I64("backlog_ns", (busy_until_ - sched_.Now()).nanos()));
   // The router is gone: no NOTIFICATIONs, no teardown courtesy. Peers will
   // discover via their hold timers. All protocol state is lost.
   for (auto& p : peers_) {
@@ -492,6 +570,9 @@ void Router::Crash() {
 void Router::Reboot() {
   crashed_ = false;
   busy_until_ = sched_.Now();
+  backlog_high_ = false;
+  IRI_TRACE(tracer_, sched_.Now(), "router_recover",
+            .Str("router", config_.name));
   for (bgp::PeerId id = 0; id < peers_.size(); ++id) {
     Peer& p = peers_[id];
     if (p.link != nullptr && p.link->up()) {

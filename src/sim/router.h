@@ -40,6 +40,9 @@
 #include "bgp/rib.h"
 #include "bgp/session.h"
 #include "bgp/update_packer.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "sim/link.h"
 #include "sim/scheduler.h"
 
@@ -138,6 +141,13 @@ class Router : public LinkEndpoint {
 
   void SetUpdateTap(UpdateTap tap) { tap_ = std::move(tap); }
 
+  // Attaches this router to a (partition-private) registry and trace sink:
+  // router.* counters mirror the hottest Stats fields, codec.encode /
+  // codec.decode profile sites time the wire codec, the RIB profile sites
+  // are resolved, and every peer session FSM gets the tracer (as do peers
+  // attached later). Either pointer may be null.
+  void AttachObservability(obs::Registry* registry, obs::Tracer* tracer);
+
   const bgp::Rib& rib() const { return rib_; }
   const Stats& stats() const { return stats_; }
   const RouterConfig& config() const { return config_; }
@@ -204,6 +214,9 @@ class Router : public LinkEndpoint {
   void Crash();
   void Reboot();
 
+  // --- observability ---
+  std::string PeerLabel(bgp::PeerId id) const;
+
   Scheduler& sched_;
   RouterConfig config_;
   Rng rng_;
@@ -215,6 +228,24 @@ class Router : public LinkEndpoint {
   bool crashed_ = false;
   Stats stats_;
   UpdateTap tap_;
+
+  // Cached instrument pointers (null when no registry is attached).
+  struct RouterMetrics {
+    obs::Counter* messages_rx = nullptr;
+    obs::Counter* messages_tx = nullptr;
+    obs::Counter* updates_rx = nullptr;
+    obs::Counter* updates_tx = nullptr;
+    obs::Counter* decode_failures = nullptr;
+    obs::Counter* session_ups = nullptr;
+    obs::Counter* session_downs = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* damped_updates = nullptr;
+    obs::Counter* backlog_high_events = nullptr;
+  } metrics_;
+  obs::ProfileSite encode_site_;
+  obs::ProfileSite decode_site_;
+  obs::Tracer* tracer_ = nullptr;
+  bool backlog_high_ = false;  // above the keepalive-starvation threshold
 };
 
 }  // namespace iri::sim

@@ -15,6 +15,7 @@
 
 #include "core/invariants.h"
 #include "netbase/time.h"
+#include "obs/profile.h"
 
 namespace iri::sim {
 
@@ -24,12 +25,31 @@ class Scheduler {
 
   TimePoint Now() const { return now_; }
 
+  // Attaches this scheduler's instruments to a (partition-private) registry:
+  // sched.tasks counts executed events, sched.peak_pending tracks the
+  // high-water backlog, and the sched.run_until profile site times the
+  // drain loop. Null detaches.
+  void AttachMetrics(obs::Registry* registry) {
+    if (registry == nullptr) {
+      tasks_ = nullptr;
+      peak_pending_ = nullptr;
+      run_until_site_ = obs::ProfileSite{};
+      return;
+    }
+    tasks_ = &registry->GetCounter("sched.tasks");
+    peak_pending_ = &registry->GetGauge("sched.peak_pending");
+    run_until_site_ = obs::MakeProfileSite(*registry, "sched.run_until");
+  }
+
   // Schedules `task` at absolute time `t`. Scheduling in the past is a
   // caller bug; the task runs immediately at Now() instead (never rewinds).
   void At(TimePoint t, Task task) {
     if (t < now_) t = now_;
     heap_.push_back(Item{t, next_seq_++, std::move(task)});
     std::push_heap(heap_.begin(), heap_.end(), RunsLater);
+    if (peak_pending_ != nullptr) {
+      peak_pending_->RaiseTo(static_cast<std::int64_t>(heap_.size()));
+    }
   }
 
   void After(Duration d, Task task) { At(now_ + d, std::move(task)); }
@@ -44,14 +64,17 @@ class Scheduler {
     now_ = item.at;
     item.task();
     ++executed_;
+    if (tasks_ != nullptr) tasks_->Add(1);
     return true;
   }
 
   // Runs events with time <= `end`, then advances the clock to `end`.
   // A horizon already in the past runs nothing and leaves the clock alone.
   void RunUntil(TimePoint end) {
+    obs::ScopedTimer timer(&run_until_site_);
     while (!heap_.empty() && heap_.front().at <= end) {
       Step();
+      timer.AddItems(1);
       IRI_ASSERT(now_ <= end,
                  "RunUntil must not execute events beyond its horizon");
     }
@@ -84,6 +107,9 @@ class Scheduler {
   TimePoint now_ = TimePoint::Origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  obs::Counter* tasks_ = nullptr;
+  obs::Gauge* peak_pending_ = nullptr;
+  obs::ProfileSite run_until_site_;
 };
 
 }  // namespace iri::sim

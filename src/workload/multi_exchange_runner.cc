@@ -42,6 +42,12 @@ std::string MultiExchangeResult::Digest(
   }
   add("announcements", combined.announcements);
   add("withdrawals", combined.withdrawals);
+  // Deterministic metrics snapshot (wall-clock instruments are excluded by
+  // SnapshotText's default): any drift in the merged registry fails the
+  // golden comparison just like a classifier bin would.
+  out += "metrics.begin\n";
+  out += metrics.SnapshotText();
+  out += "metrics.end\n";
   return out;
 }
 
@@ -74,6 +80,11 @@ MultiExchangeResult MultiExchangeRunner::Run() {
     run.events = scenario.monitor().events_seen();
     run.tasks_executed = scenario.scheduler().executed();
     run.mrt = writer.buffer();
+    // Copy the partition's registry out before the scenario (and the cached
+    // instrument pointers inside it) is destroyed. Runs on the worker that
+    // owns this exchange, touching only this partition's slot.
+    run.metrics.Merge(scenario.metrics());
+    if (config_.capture_trace) run.trace = scenario.trace().buffer();
   });
 
   // The merge happens on the calling thread, in exchange order, after every
@@ -94,6 +105,8 @@ MultiExchangeResult MultiExchangeRunner::Run() {
     }
     result.merged_mrt.insert(result.merged_mrt.end(), run.mrt.begin(),
                              run.mrt.end());
+    result.metrics.Merge(run.metrics);
+    result.merged_trace += run.trace;
     result.total_messages += run.messages;
     result.total_events += run.events;
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/stats.h"
+#include "obs/metrics.h"
 #include "workload/scenario.h"
 
 namespace iri::workload {
@@ -33,6 +34,10 @@ struct MultiExchangeConfig {
   // Capture each partition's MRT byte stream in memory (the merged stream
   // is what the golden digests checksum). Disable for pure-stats runs.
   bool capture_mrt = true;
+  // Copy each partition's structured trace buffer (obs/trace.h) into its
+  // ExchangeRun and the merged result. Off by default: traces are bulky and
+  // only diagnostics want them.
+  bool capture_trace = false;
 };
 
 // Everything one exchange partition produced.
@@ -45,6 +50,12 @@ struct ExchangeRun {
   std::uint64_t events = 0;          // per-prefix events classified
   std::uint64_t tasks_executed = 0;  // this partition's scheduler events
   std::vector<std::uint8_t> mrt;     // this exchange's MRT byte stream
+  // This partition's metrics registry, copied (via Merge into an empty
+  // registry) on the worker that owns the exchange. Only deterministic
+  // instruments feed the merged snapshot, so the bytes are thread-count
+  // independent.
+  obs::Registry metrics;
+  std::string trace;  // JSONL trace buffer (empty unless capture_trace)
 };
 
 // Per-exchange results plus the fixed-order merge.
@@ -56,6 +67,15 @@ struct MultiExchangeResult {
   // by segment (exchanges reuse collector-local peer ids, so one classifier
   // must not be fed two collectors' streams).
   std::vector<std::uint8_t> merged_mrt;
+  // Per-exchange registries merged on the calling thread in exchange order
+  // (the CategoryCounts::Merge pattern): counters and histograms sum, gauges
+  // add — so a merged peak gauge is the sum of per-exchange peaks, not a
+  // global peak. Snapshot bytes are identical at any worker count.
+  obs::Registry metrics;
+  // Per-exchange JSONL traces concatenated in exchange order (empty unless
+  // capture_trace). Exchanges reuse collector-local names, so consumers
+  // should replay segment by segment like merged_mrt.
+  std::string merged_trace;
   std::uint64_t total_messages = 0;
   std::uint64_t total_events = 0;
 

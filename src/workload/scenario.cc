@@ -33,6 +33,9 @@ ExchangeScenario::ExchangeScenario(ScenarioConfig config,
 }
 
 void ExchangeScenario::Build() {
+  metrics_.SetWallClockProfiling(config_.profile_wall_clock);
+  sched_.AttachMetrics(&metrics_);
+
   // --- route servers, one per exchange point ---
   const int k = std::max(1, config_.num_exchanges);
   config_.num_exchanges = k;
@@ -50,8 +53,10 @@ void ExchangeScenario::Build() {
     rs_cfg.packer.discipline = bgp::TimerDiscipline::kJittered;
     route_servers_.push_back(
         std::make_unique<sim::Router>(sched_, rs_cfg, rng_.Next()));
+    route_servers_.back()->AttachObservability(&metrics_, &trace_);
     monitors_.push_back(std::make_unique<core::ExchangeMonitor>());
     monitors_.back()->Attach(*route_servers_.back());
+    monitors_.back()->AttachMetrics(&metrics_);
   }
 
   // --- pathological provider selection: smallest table weight ---
@@ -107,6 +112,8 @@ void ExchangeScenario::Build() {
       }
 
       auto link = std::make_unique<sim::Link>(sched_, config_.link_latency);
+      router->AttachObservability(&metrics_, &trace_);
+      link->AttachObservability(&metrics_, &trace_, cfg.name);
       router->AttachLink(*link, /*side_a=*/true, 7, bgp::Policy::AcceptAll(),
                          std::move(exp));
       route_servers_[static_cast<std::size_t>(e)]->AttachLink(

@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "core/monitor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/link.h"
 #include "sim/router.h"
 #include "sim/scheduler.h"
@@ -130,6 +132,11 @@ struct ScenarioConfig {
   bool rs_reexport = false;  // full route-server fan-out (costly; monitor
                              // statistics are identical either way)
   Duration link_latency = Duration::Millis(2);
+
+  // Opt-in wall-clock profiling (obs/profile.h): adds nondeterministic
+  // profile.*.wall_ns counters, excluded from snapshots by default. Never
+  // enable for runs whose snapshots feed golden digests.
+  bool profile_wall_clock = false;
 };
 
 class ExchangeScenario {
@@ -160,6 +167,15 @@ class ExchangeScenario {
   const topology::Universe& universe() const { return universe_; }
   const UsageModel& usage() const { return usage_; }
   const ScenarioConfig& config() const { return config_; }
+
+  // This scenario's observability state: every component (scheduler,
+  // routers, links, monitors) feeds these. Single-partition, like the
+  // scenario itself — the multi-exchange runner merges them across
+  // partitions in fixed exchange order.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+  obs::Tracer& trace() { return trace_; }
+  const obs::Tracer& trace() const { return trace_; }
 
   // Fraction of the *visible* default-free table this provider is
   // responsible for today (Figure 6's x-axis).
@@ -226,6 +242,10 @@ class ExchangeScenario {
   ScenarioConfig config_;
   topology::Universe universe_;
   UsageModel usage_;
+  // Declared before the scheduler and routers: they cache pointers into the
+  // registry/tracer, so these must be destroyed last.
+  obs::Registry metrics_;
+  obs::Tracer trace_;
   sim::Scheduler sched_;
   Rng rng_;
 

@@ -1,0 +1,165 @@
+// Property tests for CIDR aggregation: random route sets, with the
+// containment invariants that make supernetting safe asserted over every
+// draw — chiefly that an aggregate covers every contributing prefix, so
+// hiding edge instability never hides reachability.
+#include "bgp/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netbase/rng.h"
+
+namespace iri::bgp {
+namespace {
+
+constexpr int kTrials = 60;
+
+Prefix RandomPrefix(Rng& rng, std::uint8_t min_len, std::uint8_t max_len) {
+  const auto len = static_cast<std::uint8_t>(
+      rng.Range(min_len, max_len));
+  return Prefix(IPv4Address(static_cast<std::uint32_t>(rng.Next())), len);
+}
+
+Route RandomRoute(Rng& rng, const Prefix& prefix) {
+  Route r;
+  r.prefix = prefix;
+  // A small attribute palette: repeats make sibling merges likely while
+  // still exercising the must-not-merge paths.
+  r.attributes.as_path =
+      AsPath::Sequence({static_cast<Asn>(100 + rng.Below(3)),
+                        static_cast<Asn>(200 + rng.Below(2))});
+  r.attributes.next_hop = IPv4Address(10, 0, 0, static_cast<std::uint8_t>(
+                                                    1 + rng.Below(2)));
+  r.attributes.origin = rng.Below(2) == 0 ? Origin::kIgp : Origin::kEgp;
+  if (rng.Below(3) == 0) r.attributes.med = static_cast<std::uint32_t>(rng.Below(50));
+  return r;
+}
+
+std::uint64_t AddressSpan(const Prefix& p) {
+  return std::uint64_t{1} << (32 - p.length());
+}
+
+TEST(AggregateSiblingsProperty, EveryInputIsCoveredAndSpanIsPreserved) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(1'000 + static_cast<std::uint64_t>(trial));
+    // Cluster prefixes under a handful of /20 parents so siblings exist.
+    std::vector<Route> in;
+    const int n = 2 + static_cast<int>(rng.Below(24));
+    std::vector<Prefix> parents;
+    for (int i = 0; i < 3; ++i) parents.push_back(RandomPrefix(rng, 20, 20));
+    for (int i = 0; i < n; ++i) {
+      Prefix p = parents[rng.Below(parents.size())];
+      while (p.length() < 24 + rng.Below(3)) {
+        p = rng.Below(2) == 0 ? p.LowerHalf() : p.UpperHalf();
+      }
+      in.push_back(RandomRoute(rng, p));
+    }
+
+    const std::vector<Route> out = AggregateSiblings(in);
+    ASSERT_LE(out.size(), in.size()) << "trial " << trial;
+
+    // The aggregate set covers every contributing prefix.
+    for (const Route& r : in) {
+      bool covered = false;
+      for (const Route& o : out) covered |= o.prefix.Covers(r.prefix);
+      EXPECT_TRUE(covered) << "trial " << trial << ": lost "
+                           << r.prefix.ToString();
+    }
+    // And no route appears from thin air: every output is an input or a
+    // merge of inputs, so inputs must cover the outputs' address span.
+    for (const Route& o : out) {
+      std::uint64_t covered_span = 0;
+      for (const Route& r : in) {
+        if (o.prefix.Covers(r.prefix)) covered_span += AddressSpan(r.prefix);
+      }
+      // Duplicates in `in` can overcount; the invariant is >=.
+      EXPECT_GE(covered_span, AddressSpan(o.prefix))
+          << "trial " << trial << ": " << o.prefix.ToString()
+          << " announces space no input held";
+    }
+    // Output is in address order (deterministic downstream iteration).
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_LE(out[i - 1].prefix, out[i].prefix) << "trial " << trial;
+    }
+  }
+}
+
+TEST(AggregateSiblingsProperty, IsIdempotent) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(9'000 + static_cast<std::uint64_t>(trial));
+    std::vector<Route> in;
+    Prefix parent = RandomPrefix(rng, 16, 16);
+    for (int i = 0; i < 8; ++i) {
+      Prefix p = parent;
+      while (p.length() < 22) {
+        p = rng.Below(2) == 0 ? p.LowerHalf() : p.UpperHalf();
+      }
+      in.push_back(RandomRoute(rng, p));
+    }
+    const std::vector<Route> once = AggregateSiblings(in);
+    const std::vector<Route> twice = AggregateSiblings(once);
+    EXPECT_EQ(once, twice) << "trial " << trial;
+  }
+}
+
+TEST(AggregateIntoBlockProperty, AggregateCoversEveryComponentInBlock) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(17'000 + static_cast<std::uint64_t>(trial));
+    const Prefix block = RandomPrefix(rng, 12, 16);
+    const Asn aggregator = 7;
+    const IPv4Address aggregator_id(192, 0, 2, 1);
+    const IPv4Address next_hop(10, 9, 9, 9);
+
+    std::vector<Route> components;
+    int inside = 0;
+    const int n = static_cast<int>(rng.Below(12));
+    for (int i = 0; i < n; ++i) {
+      Prefix p;
+      if (rng.Below(2) == 0) {
+        p = block;  // descend inside the block
+        while (p.length() < 24) {
+          p = rng.Below(2) == 0 ? p.LowerHalf() : p.UpperHalf();
+        }
+        ++inside;
+      } else {
+        do {
+          p = RandomPrefix(rng, 24, 24);
+        } while (block.Covers(p));
+      }
+      components.push_back(RandomRoute(rng, p));
+    }
+
+    const std::optional<Route> agg = AggregateIntoBlock(
+        block, components, aggregator, aggregator_id, next_hop);
+
+    if (inside == 0) {
+      EXPECT_FALSE(agg.has_value()) << "trial " << trial;
+      continue;
+    }
+    ASSERT_TRUE(agg.has_value()) << "trial " << trial;
+    // The supernet covers every contributing prefix — the paper's
+    // containment guarantee ("a path to an aggregate supernet prefix as
+    // long as a path to one or more of the component prefixes").
+    EXPECT_EQ(agg->prefix, block) << "trial " << trial;
+    for (const Route& c : components) {
+      if (block.Covers(c.prefix)) {
+        EXPECT_TRUE(agg->prefix.Covers(c.prefix)) << "trial " << trial;
+      }
+    }
+    // Loop-detection information survives: every in-block component's origin
+    // AS is either the aggregator or present in the aggregate's path
+    // (collected into the trailing AS_SET, per RFC 1771 §9.2.2.2).
+    EXPECT_TRUE(agg->attributes.atomic_aggregate) << "trial " << trial;
+    for (const Route& c : components) {
+      if (!block.Covers(c.prefix)) continue;
+      const Asn origin = c.attributes.as_path.OriginAsn();
+      EXPECT_TRUE(origin == aggregator ||
+                  agg->attributes.as_path.Contains(origin))
+          << "trial " << trial << ": dropped origin AS " << origin;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iri::bgp

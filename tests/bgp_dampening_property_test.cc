@@ -1,0 +1,179 @@
+// Property tests for route flap dampening (RFC 2439 semantics): randomized
+// flap histories drawn from seeded Xoshiro streams, with the draft's
+// structural invariants asserted over every trajectory. Complements the
+// example-based suite in bgp_dampening_test.cc.
+#include "bgp/dampening.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netbase/rng.h"
+
+namespace iri::bgp {
+namespace {
+
+constexpr int kTrials = 40;
+
+const PrefixPeer kRoute{*Prefix::Parse("192.42.113.0/24"), 1};
+
+TimePoint T(double seconds) {
+  return TimePoint::Origin() + Duration::Seconds(seconds);
+}
+
+// Drives a random flap history (withdraw / re-announce / attribute change at
+// random gaps) and returns the time of the last event.
+double RandomHistory(Dampener& d, Rng& rng, int events) {
+  double t = 0;
+  for (int i = 0; i < events; ++i) {
+    t += 1.0 + static_cast<double>(rng.Below(120'000)) / 1000.0;
+    switch (rng.Below(3)) {
+      case 0:
+        d.OnWithdraw(kRoute, T(t));
+        break;
+      case 1:
+        d.OnAnnounce(kRoute, T(t), /*attribute_change=*/false);
+        break;
+      default:
+        d.OnAnnounce(kRoute, T(t), /*attribute_change=*/true);
+        break;
+    }
+  }
+  return t;
+}
+
+// After the last flap, the penalty is non-increasing in time and never
+// exceeds the draft's ceiling.
+TEST(DampeningProperty, PenaltyDecaysMonotonicallyAndRespectsCeiling) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(900 + static_cast<std::uint64_t>(trial));
+    Dampener d;
+    const double cap = d.params().MaxPenalty();
+    const double end = RandomHistory(d, rng, 2 + static_cast<int>(rng.Below(30)));
+
+    double prev = d.Penalty(kRoute, T(end));
+    EXPECT_LE(prev, cap * (1 + 1e-9)) << "trial " << trial;
+    double t = end;
+    for (int step = 0; step < 50; ++step) {
+      t += 1.0 + static_cast<double>(rng.Below(300'000)) / 1000.0;
+      const double p = d.Penalty(kRoute, T(t));
+      EXPECT_LE(p, prev * (1 + 1e-12) + 1e-9)
+          << "trial " << trial << ": penalty rose without a flap at t=" << t;
+      EXPECT_GE(p, 0.0);
+      prev = p;
+    }
+  }
+}
+
+// Suppress/reuse hysteresis never inverts: scanning forward with no new
+// flaps, a route released from suppression stays released, and while it is
+// suppressed the decayed penalty sits at or above the reuse threshold.
+TEST(DampeningProperty, HysteresisReleaseIsAbsorbing) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(7'000 + static_cast<std::uint64_t>(trial));
+    // Short gaps so a good fraction of trials actually reach suppression.
+    Dampener d;
+    double t = 0;
+    for (int i = 0; i < 2 + static_cast<int>(rng.Below(12)); ++i) {
+      t += 1.0 + static_cast<double>(rng.Below(20'000)) / 1000.0;
+      if (rng.Below(2) == 0) {
+        d.OnWithdraw(kRoute, T(t));
+      } else {
+        d.OnAnnounce(kRoute, T(t), /*attribute_change=*/false);
+      }
+    }
+
+    bool was_suppressed = d.IsSuppressed(kRoute, T(t));
+    bool released = false;
+    for (int step = 0; step < 200; ++step) {
+      t += 30.0;
+      const bool suppressed = d.IsSuppressed(kRoute, T(t));
+      if (released) {
+        EXPECT_FALSE(suppressed)
+            << "trial " << trial << ": re-suppressed without a flap at t=" << t;
+      }
+      if (suppressed) {
+        EXPECT_GE(d.Penalty(kRoute, T(t)),
+                  d.params().reuse_threshold * (1 - 1e-9))
+            << "trial " << trial
+            << ": suppressed below the reuse threshold at t=" << t;
+      }
+      if (was_suppressed && !suppressed) released = true;
+      was_suppressed = suppressed;
+    }
+    // The ceiling guarantees every suppression ends within max_hold_time of
+    // the last flap; after the 200 * 30 s scan the route must be usable.
+    EXPECT_FALSE(was_suppressed) << "trial " << trial;
+  }
+}
+
+// A route can only enter suppression at the moment an update reports
+// kSuppressed, and ReuseTime brackets the release.
+TEST(DampeningProperty, ReuseTimeBracketsRelease) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(31'000 + static_cast<std::uint64_t>(trial));
+    Dampener d;
+    double t = 0;
+    DampVerdict v = DampVerdict::kPass;
+    for (int i = 0; i < 40 && v != DampVerdict::kSuppressed; ++i) {
+      t += 1.0 + static_cast<double>(rng.Below(5'000)) / 1000.0;
+      v = d.OnWithdraw(kRoute, T(t));
+    }
+    ASSERT_EQ(v, DampVerdict::kSuppressed) << "trial " << trial;
+
+    const TimePoint reuse = d.ReuseTime(kRoute, T(t));
+    EXPECT_TRUE(d.IsSuppressed(kRoute, reuse - Duration::Seconds(5)))
+        << "trial " << trial;
+    EXPECT_FALSE(d.IsSuppressed(kRoute, reuse + Duration::Seconds(5)))
+        << "trial " << trial;
+    // Release can never be later than the draft's maximum hold time.
+    EXPECT_LE((reuse - T(t)).nanos(), d.params().max_hold_time.nanos())
+        << "trial " << trial;
+  }
+}
+
+// Sweep only drops cold state: after a sweep, live penalties are unchanged
+// and anything still suppressed is still tracked.
+TEST(DampeningProperty, SweepPreservesHotState) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(55'000 + static_cast<std::uint64_t>(trial));
+    Dampener d;
+    std::vector<PrefixPeer> keys;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      keys.push_back(PrefixPeer{
+          Prefix(IPv4Address(10, 0, static_cast<std::uint8_t>(i), 0), 24),
+          static_cast<PeerId>(i % 3)});
+    }
+    double t = 0;
+    for (int i = 0; i < 60; ++i) {
+      t += 1.0 + static_cast<double>(rng.Below(60'000)) / 1000.0;
+      const PrefixPeer& key = keys[rng.Below(keys.size())];
+      if (rng.Below(2) == 0) {
+        d.OnWithdraw(key, T(t));
+      } else {
+        d.OnAnnounce(key, T(t), rng.Below(2) == 0);
+      }
+    }
+    const double settle = t + static_cast<double>(rng.Below(3'600));
+
+    std::vector<double> penalties;
+    for (const PrefixPeer& key : keys) {
+      penalties.push_back(d.Penalty(key, T(settle)));
+    }
+    d.Sweep(T(settle));
+    const double floor = d.params().reuse_threshold / 2;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (penalties[i] >= floor) {
+        EXPECT_NEAR(d.Penalty(keys[i], T(settle)), penalties[i],
+                    penalties[i] * 1e-9)
+            << "trial " << trial << ": sweep disturbed hot route " << i;
+      } else {
+        EXPECT_EQ(d.Penalty(keys[i], T(settle)), 0.0)
+            << "trial " << trial << ": sweep kept cold route " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iri::bgp

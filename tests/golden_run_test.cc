@@ -101,6 +101,16 @@ TEST_P(GoldenRun, MatchesCommittedDigestAtEveryThreadCount) {
   EXPECT_EQ(serial, RunDigest(c, 4)) << c.name << ": 4-thread run diverged";
   EXPECT_EQ(serial, RunDigest(c, 0)) << c.name << ": default-pool run diverged";
 
+  // The digest embeds the merged deterministic metrics snapshot. Pin the
+  // section's presence so an unwired registry can't pass vacuously as an
+  // empty-vs-empty comparison.
+  EXPECT_NE(serial.find("metrics.begin\n"), std::string::npos)
+      << c.name << ": digest lost its metrics section";
+  EXPECT_NE(serial.find("counter monitor.messages "), std::string::npos)
+      << c.name << ": monitor instruments missing from the merged snapshot";
+  EXPECT_NE(serial.find("counter sched.tasks "), std::string::npos)
+      << c.name << ": scheduler instruments missing from the merged snapshot";
+
   const std::string path = GoldenPath(c);
   if (g_regen) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);

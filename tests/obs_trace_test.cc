@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace iri::obs {
+namespace {
+
+TimePoint T(double seconds) {
+  return TimePoint::Origin() + Duration::Seconds(seconds);
+}
+
+TEST(TraceEvent, EmitsOneJsonLinePerEvent) {
+  Tracer tracer;
+  { TraceEvent(&tracer, T(1.5), "link_fail").Str("link", "isp-0"); }
+  { TraceEvent(&tracer, T(2), "fsm").Str("from", "Idle").Str("to", "Connect"); }
+  EXPECT_EQ(tracer.events(), 2u);
+  EXPECT_EQ(tracer.buffer(),
+            "{\"t_ns\":1500000000,\"ev\":\"link_fail\",\"link\":\"isp-0\"}\n"
+            "{\"t_ns\":2000000000,\"ev\":\"fsm\",\"from\":\"Idle\","
+            "\"to\":\"Connect\"}\n");
+}
+
+TEST(TraceEvent, NumericFields) {
+  Tracer tracer;
+  {
+    TraceEvent(&tracer, T(0), "backlog_high")
+        .U64("epoch", 7)
+        .I64("backlog_ns", -5);
+  }
+  EXPECT_EQ(tracer.buffer(),
+            "{\"t_ns\":0,\"ev\":\"backlog_high\",\"epoch\":7,"
+            "\"backlog_ns\":-5}\n");
+}
+
+TEST(TraceEvent, EscapesStringValues) {
+  Tracer tracer;
+  { TraceEvent(&tracer, T(0), "ev").Str("k", "a\"b\\c\nd\x01"); }
+  EXPECT_EQ(tracer.buffer(),
+            "{\"t_ns\":0,\"ev\":\"ev\",\"k\":\"a\\\"b\\\\c\\nd\\u0001\"}\n");
+}
+
+TEST(TraceEvent, NullTracerIsANoOp) {
+  // Emission sites pass whatever pointer they cached; a detached component
+  // holds null and must cost nothing (and crash nothing).
+  TraceEvent(nullptr, T(9), "ignored").Str("k", "v").U64("n", 1);
+  SUCCEED();
+}
+
+TEST(Tracer, MergeConcatenatesVerbatimAndClearResets) {
+  Tracer a;
+  Tracer b;
+  { TraceEvent(&a, T(1), "one"); }
+  { TraceEvent(&b, T(2), "two"); }
+  a.Merge(b);
+  EXPECT_EQ(a.events(), 2u);
+  EXPECT_EQ(a.buffer(),
+            "{\"t_ns\":1000000000,\"ev\":\"one\"}\n"
+            "{\"t_ns\":2000000000,\"ev\":\"two\"}\n");
+  a.Clear();
+  EXPECT_EQ(a.events(), 0u);
+  EXPECT_TRUE(a.buffer().empty());
+}
+
+TEST(TraceMacro, RespectsCompileSwitch) {
+  Tracer tracer;
+  IRI_TRACE(&tracer, T(3), "probe", .U64("n", 1));
+#if defined(IRI_TRACE_ENABLED) && IRI_TRACE_ENABLED
+  EXPECT_EQ(tracer.events(), 1u);
+  EXPECT_EQ(tracer.buffer(), "{\"t_ns\":3000000000,\"ev\":\"probe\",\"n\":1}\n");
+#else
+  // Compiled out: the site must not evaluate its arguments or emit.
+  EXPECT_EQ(tracer.events(), 0u);
+  EXPECT_TRUE(tracer.buffer().empty());
+#endif
+}
+
+}  // namespace
+}  // namespace iri::obs

@@ -13,10 +13,12 @@ invariants that make that true and that clang-tidy cannot express:
                  runs on simulated time.
   unordered-iteration
                  No iteration over std::unordered_map/std::unordered_set in
-                 code paths that write reports or MRT logs (core/report,
-                 core/snapshot, core/monitor, src/mrt/, tools/). Hash-order
-                 iteration varies across libstdc++ versions and would break
-                 byte-identical scenario outputs.
+                 code paths that write reports, MRT logs, or observability
+                 output (core/report, core/snapshot, core/monitor, src/mrt/,
+                 src/obs/, tools/). Hash-order iteration varies across
+                 libstdc++ versions and would break byte-identical scenario
+                 outputs — including the metrics snapshots embedded in the
+                 golden digests.
   threads        No raw threading or shared-mutable-state primitives
                  (std::thread, std::jthread, std::async, mutexes,
                  condition variables, std::atomic) outside
@@ -28,9 +30,10 @@ invariants that make that true and that clang-tidy cannot express:
   pragma-once    Every header under src/ starts its include guard with
                  `#pragma once`.
   include-layering
-                 Layer hygiene: netbase includes only netbase; bgp only
-                 {bgp, netbase}; sim/mrt/topology sit above bgp; core sits
-                 above sim/mrt; workload on top. The single sanctioned
+                 Layer hygiene: netbase includes only netbase; obs only
+                 {obs, netbase}; bgp only {bgp, obs, netbase};
+                 sim/mrt/topology sit above bgp; core sits above sim/mrt;
+                 workload on top. The single sanctioned
                  exception: any layer above netbase may include
                  core/invariants.h (built as the bottom-of-stack
                  iri_invariants library precisely so this is link-safe).
@@ -170,6 +173,9 @@ ATOMIC_PATTERNS = [
 OUTPUT_PATH_RES = [
     re.compile(r"^src/core/(report|snapshot|monitor)\.(h|cc)$"),
     re.compile(r"^src/mrt/"),
+    # Metrics snapshots and trace emission must be byte-stable: the golden
+    # digests embed SnapshotText() output verbatim.
+    re.compile(r"^src/obs/"),
     re.compile(r"^tools/"),
 ]
 
@@ -182,15 +188,18 @@ UNORDERED_INLINE_ITER_RE = re.compile(
 # include from (via #include "dir/...").
 LAYER_ALLOWED = {
     "netbase": {"netbase"},
-    "bgp": {"bgp", "netbase"},
-    "sim": {"sim", "bgp", "netbase"},
-    "mrt": {"mrt", "bgp", "netbase"},
-    "topology": {"topology", "bgp", "netbase"},
-    "analysis": {"analysis", "netbase"},
-    "igp": {"igp", "sim", "bgp", "netbase"},
-    "core": {"core", "mrt", "sim", "bgp", "netbase"},
+    # Observability sits just above netbase so every higher layer can feed
+    # instruments without new upward dependencies (DESIGN.md §9).
+    "obs": {"obs", "netbase"},
+    "bgp": {"bgp", "obs", "netbase"},
+    "sim": {"sim", "bgp", "obs", "netbase"},
+    "mrt": {"mrt", "bgp", "obs", "netbase"},
+    "topology": {"topology", "bgp", "obs", "netbase"},
+    "analysis": {"analysis", "obs", "netbase"},
+    "igp": {"igp", "sim", "bgp", "obs", "netbase"},
+    "core": {"core", "mrt", "sim", "bgp", "obs", "netbase"},
     "workload": {"workload", "core", "igp", "mrt", "sim", "topology",
-                 "analysis", "bgp", "netbase"},
+                 "analysis", "bgp", "obs", "netbase"},
 }
 # The one sanctioned upward include: the invariant-audit primitives live in
 # core/ but link from the bottom of the stack.
@@ -360,9 +369,32 @@ SELF_TEST_CASES = {
         "inline std::atomic<unsigned long> g_audit_count{0};\n",
         set(),
     ),
+    # Metrics/trace emission paths are output paths: snapshot bytes feed the
+    # golden digests, so unordered iteration there is a determinism bug.
+    "src/obs/bad_snapshot.cc": (
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, long> counters;\n"
+        "long Dump() { long s = 0;"
+        " for (auto& [k, v] : counters) s += v; return s; }\n",
+        {"unordered-iteration"},
+    ),
+    # obs may be included from bgp up, and may itself reach netbase plus the
+    # sanctioned core/invariants.h exception — none of that may fire.
+    "src/obs/clean_metrics.h": (
+        "#pragma once\n"
+        '#include "netbase/time.h"\n'
+        '#include "core/invariants.h"\n'
+        "inline int Instrument() { return 7; }\n",
+        set(),
+    ),
+    "src/netbase/bad_obs_layering.cc": (
+        '#include "obs/metrics.h"\n',
+        {"include-layering"},
+    ),
     "src/bgp/clean.h": (
         "#pragma once\n"
         '#include "netbase/time.h"\n'
+        '#include "obs/trace.h"\n'
         '#include "core/invariants.h"\n'
         "// rand() in a comment must not fire\n"
         "inline int Fine() { return 4; }\n",
