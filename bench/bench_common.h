@@ -87,4 +87,23 @@ inline double FullScale(double value, const Flags& flags) {
   return value * flags.scale_denominator;
 }
 
+// One-line digest of the health.* instruments a run's streaming detectors
+// produced (obs/health.h). Non-const registry: instruments are reached
+// through the get-or-create accessors.
+inline void PrintHealthSummary(obs::Registry& metrics) {
+  std::printf(
+      "health: %llu storm(s), %llu flap burst(s), periodicity "
+      "30s=%lldppm 60s=%lldppm (%llu alert(s))\n",
+      static_cast<unsigned long long>(
+          metrics.GetCounter("health.storm.starts").value()),
+      static_cast<unsigned long long>(
+          metrics.GetCounter("health.flap.bursts").value()),
+      static_cast<long long>(
+          metrics.GetGauge("health.periodicity.a_ppm").value()),
+      static_cast<long long>(
+          metrics.GetGauge("health.periodicity.b_ppm").value()),
+      static_cast<unsigned long long>(
+          metrics.GetCounter("health.periodicity.alerts").value()));
+}
+
 }  // namespace iri::bench

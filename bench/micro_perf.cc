@@ -3,6 +3,9 @@
 // end-to-end simulator event rate.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "bgp/decision.h"
 #include "bgp/message.h"
 #include "core/classifier.h"
@@ -135,6 +138,9 @@ void BM_ScenarioSimulatedHour(benchmark::State& state) {
     cfg.topology.scale = 1.0 / 128;
     cfg.topology.num_providers = 8;
     cfg.duration = Duration::Hours(1);
+    // The headline number keeps streaming telemetry off: with IRI_TRACE=OFF
+    // this is the configuration the <=2% regression gate compares.
+    cfg.series_flush_interval = Duration();
     workload::ExchangeScenario scenario(cfg);
     scenario.Run();
     benchmark::DoNotOptimize(scenario.monitor().events_seen());
@@ -142,6 +148,45 @@ void BM_ScenarioSimulatedHour(benchmark::State& state) {
 }
 BENCHMARK(BM_ScenarioSimulatedHour)->Unit(benchmark::kMillisecond);
 
+// Same scenario with the series flush + health detectors enabled: the
+// difference against BM_ScenarioSimulatedHour is the all-in telemetry cost.
+void BM_ScenarioSimulatedHourTelemetry(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::ScenarioConfig cfg;
+    cfg.topology.scale = 1.0 / 128;
+    cfg.topology.num_providers = 8;
+    cfg.duration = Duration::Hours(1);
+    workload::ExchangeScenario scenario(cfg);
+    scenario.Run();
+    benchmark::DoNotOptimize(scenario.series().records());
+  }
+}
+BENCHMARK(BM_ScenarioSimulatedHourTelemetry)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): unless the caller passes its own
+// --benchmark_out, results also land in BENCH_micro_perf.json next to the
+// binary, the file tools/bench/compare.py diffs against the committed
+// baseline (bench/baseline/BENCH_micro_perf.json).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char out_flag[] = "--benchmark_out=BENCH_micro_perf.json";
+  char fmt_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   cfg.scenario.num_exchanges = 5;
   cfg.capture_mrt = false;  // taxonomy only; skip the byte stream
   workload::MultiExchangeRunner runner(std::move(cfg));
-  const workload::MultiExchangeResult result = runner.Run();
+  workload::MultiExchangeResult result = runner.Run();
 
   std::vector<std::vector<std::string>> rows;
   for (int e = 0; e < 5; ++e) {
@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
               min_patho * 100, max_patho * 100);
   std::printf("combined: %llu events across 5 collectors\n",
               static_cast<unsigned long long>(result.combined.Total()));
+  bench::PrintHealthSummary(result.metrics);
   std::printf("\nmerged metrics snapshot (fixed exchange order, "
               "thread-count independent):\n%s",
               result.metrics.SnapshotText().c_str());

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
           t.unique.insert(ev.event.prefix);
         });
       });
-  const workload::MultiExchangeResult result = runner.Run();
+  workload::MultiExchangeResult result = runner.Run();
 
   std::vector<std::vector<std::string>> rows;
   for (std::size_t i = 0; i < totals.size(); ++i) {
@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
               "(paper: 3-6M typical, 30M extreme)\n",
               bench::FullScale(static_cast<double>(grand_a + grand_w), flags) /
                   1e6);
+  bench::PrintHealthSummary(result.metrics);
   std::printf("\ndeterministic metrics snapshot (obs/metrics.h):\n%s",
               result.metrics.SnapshotText().c_str());
   return 0;

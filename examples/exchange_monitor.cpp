@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
   std::printf("collecting %.1f simulated hours at %d exchange(s)...\n", hours,
               cfg.scenario.num_exchanges);
   workload::MultiExchangeRunner runner(std::move(cfg));
-  const workload::MultiExchangeResult result = runner.Run();
+  // Non-const: the health summary below reads instruments through the
+  // registry's get-or-create accessors.
+  workload::MultiExchangeResult result = runner.Run();
 
   // One merged file, per-exchange segments concatenated in exchange order.
   {
@@ -77,6 +79,46 @@ int main(int argc, char** argv) {
 
   std::printf("merged deterministic metrics snapshot:\n%s\n",
               result.metrics.SnapshotText().c_str());
+
+  // --- streaming telemetry: the operator-facing series + health view ---
+  // Per-exchange JSONL segments concatenated in exchange order, same
+  // determinism contract as the MRT bytes. Try:
+  //   jq -r 'select(.series=="monitor.wwdup") | [.t_ns,.window] | @tsv'
+  const std::string series_path = path + ".series.jsonl";
+  {
+    std::FILE* f = std::fopen(series_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", series_path.c_str());
+      return 1;
+    }
+    if (!result.merged_series.empty() &&
+        std::fwrite(result.merged_series.data(), 1,
+                    result.merged_series.size(),
+                    f) != result.merged_series.size()) {
+      std::fprintf(stderr, "short write to %s\n", series_path.c_str());
+      std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+  }
+  std::printf("wrote %llu series records (%zu bytes) to %s\n",
+              static_cast<unsigned long long>(result.total_series_records),
+              result.merged_series.size(), series_path.c_str());
+  std::printf(
+      "instability health: %llu storm(s), %llu flap burst(s) (peak %lld "
+      "events), periodicity score 30s=%lldppm 60s=%lldppm, %llu alert(s)\n",
+      static_cast<unsigned long long>(
+          result.metrics.GetCounter("health.storm.starts").value()),
+      static_cast<unsigned long long>(
+          result.metrics.GetCounter("health.flap.bursts").value()),
+      static_cast<long long>(
+          result.metrics.GetGauge("health.flap.peak_events").value()),
+      static_cast<long long>(
+          result.metrics.GetGauge("health.periodicity.a_ppm").value()),
+      static_cast<long long>(
+          result.metrics.GetGauge("health.periodicity.b_ppm").value()),
+      static_cast<unsigned long long>(
+          result.metrics.GetCounter("health.periodicity.alerts").value()));
 
   // --- offline replay, segment by segment ---
   // Exchanges reuse collector-local peer ids, so each exchange's segment

@@ -66,18 +66,25 @@ std::optional<Route> AggregateIntoBlock(const Prefix& block,
                                         const std::vector<Route>& components,
                                         Asn aggregator_asn,
                                         IPv4Address aggregator_id,
-                                        IPv4Address next_hop) {
+                                        IPv4Address next_hop,
+                                        [[maybe_unused]] obs::Tracer* trace,
+                                        [[maybe_unused]] TimePoint now) {
   std::set<Asn> foreign_origins;
-  bool any = false;
+  std::uint64_t covered = 0;
   Origin origin = Origin::kIgp;
   for (const Route& r : components) {
     if (!block.Covers(r.prefix)) continue;
-    any = true;
+    ++covered;
     if (r.attributes.origin > origin) origin = r.attributes.origin;
     const Asn o = r.attributes.as_path.OriginAsn();
     if (o != 0 && o != aggregator_asn) foreign_origins.insert(o);
   }
-  if (!any) return std::nullopt;
+  if (covered == 0) return std::nullopt;
+  IRI_TRACE(trace, now, "aggregate_emit",
+            .Str("block", block.ToString())
+                .U64("aggregator", aggregator_asn)
+                .U64("components", covered)
+                .U64("foreign_origins", foreign_origins.size()));
 
   Route aggregate;
   aggregate.prefix = block;

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "bgp/route.h"
+#include "netbase/time.h"
+#include "obs/trace.h"
 
 namespace iri::bgp {
 
@@ -30,10 +32,18 @@ std::vector<Route> AggregateSiblings(std::vector<Route> routes);
 // aggregator are collected into a trailing AS_SET segment (loop-detection
 // information is preserved across the aggregation, per RFC 1771 §9.2.2.2).
 // Returns nullopt when no component is inside the block.
+//
+// With a non-null `trace`, every emitted aggregate also logs one
+// aggregate_emit trace event (obs/trace.h) stamped `now`, recording the
+// supernet, how many components it covers and how many foreign origin ASes
+// went into the AS_SET — the containment telemetry counterpart of the
+// dampener's suppress/release events.
 std::optional<Route> AggregateIntoBlock(const Prefix& block,
                                         const std::vector<Route>& components,
                                         Asn aggregator_asn,
                                         IPv4Address aggregator_id,
-                                        IPv4Address next_hop);
+                                        IPv4Address next_hop,
+                                        obs::Tracer* trace = nullptr,
+                                        TimePoint now = TimePoint::Origin());
 
 }  // namespace iri::bgp

@@ -9,7 +9,8 @@ double DampeningParams::MaxPenalty() const {
   return reuse_threshold * std::exp2(max_hold_time / half_life);
 }
 
-void Dampener::Decay(RouteState& st, TimePoint now) {
+void Dampener::Decay([[maybe_unused]] const PrefixPeer& key, RouteState& st,
+                     TimePoint now) {
   if (now > st.last_update) {
     const double half_lives = (now - st.last_update) / params_.half_life;
     st.penalty *= std::exp2(-half_lives);
@@ -20,6 +21,10 @@ void Dampener::Decay(RouteState& st, TimePoint now) {
         now - st.suppressed_since >= params_.max_hold_time;
     if (st.penalty < params_.reuse_threshold || held_too_long) {
       st.suppressed = false;
+      IRI_TRACE(trace_, now, "damp_release",
+                .Str("prefix", key.prefix.ToString())
+                    .U64("peer", key.peer)
+                    .I64("held_ns", (now - st.suppressed_since).nanos()));
     }
   }
 }
@@ -28,12 +33,17 @@ DampVerdict Dampener::AddPenalty(const PrefixPeer& key, TimePoint now,
                                  double amount) {
   RouteState& st = state_[key];
   if (st.last_update == TimePoint()) st.last_update = now;
-  Decay(st, now);
+  Decay(key, st, now);
   const bool was_suppressed = st.suppressed;
   st.penalty = std::min(st.penalty + amount, params_.MaxPenalty());
   if (!st.suppressed && st.penalty >= params_.suppress_threshold) {
     st.suppressed = true;
     st.suppressed_since = now;
+    IRI_TRACE(trace_, now, "damp_suppress",
+              .Str("prefix", key.prefix.ToString())
+                  .U64("peer", key.peer)
+                  .I64("penalty", static_cast<std::int64_t>(
+                                      std::llround(st.penalty))));
     return was_suppressed ? DampVerdict::kStillDamped : DampVerdict::kSuppressed;
   }
   return st.suppressed ? DampVerdict::kStillDamped : DampVerdict::kPass;
@@ -53,21 +63,21 @@ DampVerdict Dampener::OnAnnounce(const PrefixPeer& key, TimePoint now,
 bool Dampener::IsSuppressed(const PrefixPeer& key, TimePoint now) {
   auto it = state_.find(key);
   if (it == state_.end()) return false;
-  Decay(it->second, now);
+  Decay(it->first, it->second, now);
   return it->second.suppressed;
 }
 
 double Dampener::Penalty(const PrefixPeer& key, TimePoint now) {
   auto it = state_.find(key);
   if (it == state_.end()) return 0.0;
-  Decay(it->second, now);
+  Decay(it->first, it->second, now);
   return it->second.penalty;
 }
 
 TimePoint Dampener::ReuseTime(const PrefixPeer& key, TimePoint now) {
   auto it = state_.find(key);
   if (it == state_.end()) return now;
-  Decay(it->second, now);
+  Decay(it->first, it->second, now);
   const RouteState& st = it->second;
   if (!st.suppressed) return now;
   // Solve penalty * 2^(-t/half_life) == reuse_threshold for t.
@@ -80,7 +90,7 @@ TimePoint Dampener::ReuseTime(const PrefixPeer& key, TimePoint now) {
 std::size_t Dampener::Sweep(TimePoint now) {
   std::size_t removed = 0;
   for (auto it = state_.begin(); it != state_.end();) {
-    Decay(it->second, now);
+    Decay(it->first, it->second, now);
     if (!it->second.suppressed &&
         it->second.penalty < params_.reuse_threshold / 2.0) {
       it = state_.erase(it);

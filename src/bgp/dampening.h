@@ -13,6 +13,7 @@
 
 #include "bgp/route.h"
 #include "netbase/time.h"
+#include "obs/trace.h"
 
 namespace iri::bgp {
 
@@ -65,6 +66,11 @@ class Dampener {
   std::size_t TrackedRoutes() const { return state_.size(); }
   const DampeningParams& params() const { return params_; }
 
+  // Emits damp_suppress / damp_release trace events (obs/trace.h) for every
+  // suppression transition. Null (the default) disables the sites; the
+  // tracer is not owned and must outlive the dampener.
+  void SetTracer(obs::Tracer* tracer) { trace_ = tracer; }
+
  private:
   struct RouteState {
     double penalty = 0.0;
@@ -73,12 +79,14 @@ class Dampener {
     TimePoint suppressed_since;
   };
 
-  // Applies exponential decay in place and re-evaluates suppression exit.
-  void Decay(RouteState& st, TimePoint now);
+  // Applies exponential decay in place and re-evaluates suppression exit
+  // (emitting damp_release on the way out; the key is only for the trace).
+  void Decay(const PrefixPeer& key, RouteState& st, TimePoint now);
   DampVerdict AddPenalty(const PrefixPeer& key, TimePoint now, double amount);
 
   DampeningParams params_;
   std::unordered_map<PrefixPeer, RouteState> state_;
+  obs::Tracer* trace_ = nullptr;
 };
 
 }  // namespace iri::bgp

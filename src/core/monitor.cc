@@ -28,6 +28,25 @@ void ExchangeMonitor::AttachMetrics(obs::Registry* registry) {
   ingest_site_ = obs::MakeProfileSite(*registry, "monitor.ingest");
 }
 
+void ExchangeMonitor::AttachTimeSeries(obs::SeriesFlusher* series,
+                                       obs::HealthMonitor* health) {
+  health_ = health;
+  if (series == nullptr) {
+    updates_series_ = wwdup_series_ = aadup_series_ = nullptr;
+    events_per_msg_series_ = nullptr;
+    return;
+  }
+  updates_series_ = &series->GetCounter("monitor.updates");
+  wwdup_series_ = &series->GetCounter("monitor.wwdup");
+  aadup_series_ = &series->GetCounter("monitor.aadup");
+  // Events exploded per UPDATE message, over the last 6 windows: a live view
+  // of packing density (withdrawal sprays arrive hundreds to the message).
+  static constexpr std::int64_t kPerMsgEdges[] = {1, 2, 4, 8, 16, 32, 128};
+  events_per_msg_series_ =
+      &series->GetHistogram("monitor.events_per_msg", kPerMsgEdges,
+                            /*window_ticks=*/6);
+}
+
 void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
                              bgp::Asn peer_asn,
                              const bgp::UpdateMessage& update) {
@@ -42,6 +61,10 @@ void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
   scratch_.clear();
   ExplodeUpdate(now, peer, peer_asn, update, scratch_);
   timer.AddItems(scratch_.size());
+  if (events_per_msg_series_ != nullptr) {
+    events_per_msg_series_->Observe(
+        static_cast<std::int64_t>(scratch_.size()));
+  }
   for (const UpdateEvent& ev : scratch_) {
     const ClassifiedEvent classified = classifier_.Classify(ev);
     ++events_seen_;
@@ -49,6 +72,12 @@ void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
       events_metric_->Add(1);
       category_metrics_[static_cast<std::size_t>(classified.category)]->Add(1);
     }
+    if (updates_series_ != nullptr) {
+      updates_series_->Add(1);
+      if (classified.category == Category::kWWDup) wwdup_series_->Add(1);
+      if (classified.category == Category::kAADup) aadup_series_->Add(1);
+    }
+    if (health_ != nullptr) health_->ObservePeerEvent(now, ev.peer);
     for (const Sink& sink : sinks_) sink(classified);
   }
 }

@@ -15,8 +15,10 @@
 #include "core/classifier.h"
 #include "core/event.h"
 #include "mrt/log.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "sim/router.h"
 
 namespace iri::core {
@@ -44,6 +46,16 @@ class ExchangeMonitor {
   // lives under "mrt.records" (outside the prefix): replay has no writer.
   void AttachMetrics(obs::Registry* registry);
 
+  // Attaches the streaming telemetry feeds: windowed series instruments
+  // (monitor.updates / monitor.wwdup / monitor.aadup counters and the
+  // monitor.events_per_msg sliding-window histogram) drained by the
+  // scenario's periodic flush, plus the per-event peer feed of the health
+  // monitor's flap-burst sessionizer. Either pointer may be null; null/null
+  // detaches. Costs a few cached-pointer increments per event when attached,
+  // two pointer tests when not.
+  void AttachTimeSeries(obs::SeriesFlusher* series,
+                        obs::HealthMonitor* health);
+
   // Feeds one update message through classification and the sinks — used
   // both by the live tap and by offline MRT replay.
   void Ingest(TimePoint now, bgp::PeerId peer, bgp::Asn peer_asn,
@@ -70,6 +82,11 @@ class ExchangeMonitor {
   obs::Counter* mrt_records_metric_ = nullptr;
   std::array<obs::Counter*, kNumCategories> category_metrics_{};
   obs::ProfileSite ingest_site_;
+  obs::WindowedCounter* updates_series_ = nullptr;
+  obs::WindowedCounter* wwdup_series_ = nullptr;
+  obs::WindowedCounter* aadup_series_ = nullptr;
+  obs::WindowedHistogram* events_per_msg_series_ = nullptr;
+  obs::HealthMonitor* health_ = nullptr;
 };
 
 }  // namespace iri::core

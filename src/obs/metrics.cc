@@ -64,8 +64,15 @@ Counter& Registry::GetCounter(const std::string& name, Stability stability) {
   return Register(name, Instrument::Kind::kCounter, stability).counter;
 }
 
-Gauge& Registry::GetGauge(const std::string& name, Stability stability) {
-  return Register(name, Instrument::Kind::kGauge, stability).gauge;
+Gauge& Registry::GetGauge(const std::string& name, Stability stability,
+                          GaugeMerge merge) {
+  Instrument& inst = Register(name, Instrument::Kind::kGauge, stability);
+  // Last registration wins on a kSum->kMax upgrade so Merge() can create
+  // the destination with the source's policy; conflicting explicit
+  // policies in one partition are a caller bug caught by the snapshot
+  // diverging, not worth an assert on the hot get-or-create path.
+  if (merge == GaugeMerge::kMax) inst.gauge_merge = GaugeMerge::kMax;
+  return inst.gauge;
 }
 
 Histogram& Registry::GetHistogram(const std::string& name,
@@ -89,9 +96,15 @@ void Registry::Merge(const Registry& other) {
       case Instrument::Kind::kCounter:
         GetCounter(name, inst->stability).Add(inst->counter.value());
         break;
-      case Instrument::Kind::kGauge:
-        GetGauge(name, inst->stability).Add(inst->gauge.value());
+      case Instrument::Kind::kGauge: {
+        Gauge& g = GetGauge(name, inst->stability, inst->gauge_merge);
+        if (inst->gauge_merge == GaugeMerge::kMax) {
+          g.RaiseTo(inst->gauge.value());
+        } else {
+          g.Add(inst->gauge.value());
+        }
         break;
+      }
       case Instrument::Kind::kHistogram:
         GetHistogram(name, inst->histogram->edges(), inst->stability)
             .Merge(*inst->histogram);

@@ -91,6 +91,12 @@ class Histogram {
 // counters, which vary run to run by construction.
 enum class Stability : std::uint8_t { kDeterministic, kWallClock };
 
+// How Merge() folds a gauge across partitions. kSum suits level-style
+// gauges (current sizes, token counts); kMax suits peak- and score-style
+// gauges fed via RaiseTo, where a sum of per-partition maxima reads as a
+// number no single partition ever saw.
+enum class GaugeMerge : std::uint8_t { kSum, kMax };
+
 // Name-keyed instrument registry. Registration returns a stable reference
 // (instruments never move once created), so hot paths cache the pointer at
 // attach time and pay one predictable increment per event afterwards.
@@ -112,7 +118,8 @@ class Registry {
   Counter& GetCounter(const std::string& name,
                       Stability stability = Stability::kDeterministic);
   Gauge& GetGauge(const std::string& name,
-                  Stability stability = Stability::kDeterministic);
+                  Stability stability = Stability::kDeterministic,
+                  GaugeMerge merge = GaugeMerge::kSum);
   Histogram& GetHistogram(const std::string& name,
                           std::span<const std::int64_t> upper_edges,
                           Stability stability = Stability::kDeterministic);
@@ -124,10 +131,9 @@ class Registry {
   bool wall_clock_profiling() const { return wall_clock_profiling_; }
 
   // Folds `other` into this registry by instrument name, creating missing
-  // instruments. Counters and gauges add; histograms add bucket-wise (edges
-  // must match). Peak-style gauges therefore read as a *sum of per-partition
-  // peaks* after a multi-exchange merge — an upper bound, documented in
-  // DESIGN.md §9.
+  // instruments. Counters add; histograms add bucket-wise (edges must
+  // match); gauges follow their registered GaugeMerge policy — kSum gauges
+  // add, kMax gauges keep the maximum across partitions (DESIGN.md §9).
   void Merge(const Registry& other);
 
   // Stable text snapshot, one line per instrument in name order:
@@ -150,6 +156,7 @@ class Registry {
   struct Instrument {
     enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram } kind;
     Stability stability = Stability::kDeterministic;
+    GaugeMerge gauge_merge = GaugeMerge::kSum;
     Counter counter;
     Gauge gauge;
     std::unique_ptr<Histogram> histogram;

@@ -1,0 +1,137 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace iri::obs {
+
+namespace {
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void AppendI64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void AppendF64(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out += buf;
+}
+
+}  // namespace
+
+WindowedHistogram::WindowedHistogram(std::span<const std::int64_t> upper_edges,
+                                     int window_ticks)
+    : edges_(upper_edges.begin(), upper_edges.end()),
+      ring_(static_cast<std::size_t>(std::max(1, window_ticks))),
+      current_(upper_edges.size() + 1, 0),
+      totals_(upper_edges.size() + 1, 0),
+      window_sums_(ring_.size(), 0),
+      window_counts_(ring_.size(), 0) {
+  IRI_ASSERT(std::is_sorted(edges_.begin(), edges_.end()),
+             "windowed histogram upper edges must be ascending");
+  for (auto& w : ring_) w.assign(edges_.size() + 1, 0);
+}
+
+void WindowedHistogram::Observe(std::int64_t v) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  const auto b = static_cast<std::size_t>(it - edges_.begin());
+  current_[b] += 1;
+  totals_[b] += 1;
+  ++count_;
+  sum_ += v;
+  ++current_count_;
+  current_sum_ += v;
+}
+
+void WindowedHistogram::CloseWindow() {
+  // Evict the slot's expiring window from the aggregates, then rotate the
+  // just-closed window into its place.
+  std::vector<std::uint64_t>& old = ring_[slot_];
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    totals_[i] -= old[i];
+  }
+  count_ -= window_counts_[slot_];
+  sum_ -= window_sums_[slot_];
+  old = current_;
+  window_counts_[slot_] = current_count_;
+  window_sums_[slot_] = current_sum_;
+  current_.assign(current_.size(), 0);
+  current_count_ = 0;
+  current_sum_ = 0;
+  slot_ = (slot_ + 1) % ring_.size();
+}
+
+WindowedCounter& SeriesFlusher::GetCounter(const std::string& name) {
+  Instrument& inst = instruments_[name];
+  IRI_ASSERT(inst.histogram == nullptr,
+             "series name re-registered as a different instrument kind");
+  if (inst.counter == nullptr) {
+    inst.counter = std::make_unique<WindowedCounter>();
+  }
+  return *inst.counter;
+}
+
+WindowedHistogram& SeriesFlusher::GetHistogram(
+    const std::string& name, std::span<const std::int64_t> upper_edges,
+    int window_ticks) {
+  Instrument& inst = instruments_[name];
+  IRI_ASSERT(inst.counter == nullptr,
+             "series name re-registered as a different instrument kind");
+  if (inst.histogram == nullptr) {
+    inst.histogram =
+        std::make_unique<WindowedHistogram>(upper_edges, window_ticks);
+  }
+  return *inst.histogram;
+}
+
+void SeriesFlusher::Flush(TimePoint now) {
+  for (auto& [name, inst] : instruments_) {
+    buffer_ += "{\"t_ns\":";
+    AppendI64(buffer_, now.nanos());
+    buffer_ += ",\"series\":\"";
+    buffer_ += name;  // series names are code constants; no escaping needed
+    buffer_ += '"';
+    if (inst.counter != nullptr) {
+      WindowedCounter& c = *inst.counter;
+      const std::uint64_t window = c.window();
+      c.CloseWindow(ewma_alpha_);
+      buffer_ += ",\"window\":";
+      AppendU64(buffer_, window);
+      buffer_ += ",\"total\":";
+      AppendU64(buffer_, c.total());
+      buffer_ += ",\"ewma\":";
+      AppendF64(buffer_, c.ewma());
+    } else {
+      WindowedHistogram& h = *inst.histogram;
+      buffer_ += ",\"count\":";
+      AppendU64(buffer_, h.count());
+      buffer_ += ",\"sum\":";
+      AppendI64(buffer_, h.sum());
+      buffer_ += ",\"buckets\":[";
+      for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+        if (i != 0) buffer_ += ',';
+        AppendU64(buffer_, h.buckets()[i]);
+      }
+      buffer_ += ']';
+      h.CloseWindow();
+    }
+    buffer_ += "}\n";
+    ++records_;
+  }
+  ++flushes_;
+}
+
+void SeriesFlusher::Clear() {
+  buffer_.clear();
+  records_ = 0;
+}
+
+}  // namespace iri::obs

@@ -45,6 +45,8 @@ std::string Router::PeerLabel(bgp::PeerId id) const {
 void Router::AttachObservability(obs::Registry* registry,
                                  obs::Tracer* tracer) {
   tracer_ = tracer;
+  // Suppress/release transitions trace from inside the dampener itself.
+  dampener_.SetTracer(tracer);
   if (registry == nullptr) {
     metrics_ = RouterMetrics{};
     encode_site_ = decode_site_ = obs::ProfileSite{};

@@ -37,7 +37,9 @@ class Scheduler {
       return;
     }
     tasks_ = &registry->GetCounter("sched.tasks");
-    peak_pending_ = &registry->GetGauge("sched.peak_pending");
+    peak_pending_ = &registry->GetGauge("sched.peak_pending",
+                                        obs::Stability::kDeterministic,
+                                        obs::GaugeMerge::kMax);
     run_until_site_ = obs::MakeProfileSite(*registry, "sched.run_until");
   }
 

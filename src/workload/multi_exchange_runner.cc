@@ -48,6 +48,18 @@ std::string MultiExchangeResult::Digest(
   out += "metrics.begin\n";
   out += metrics.SnapshotText();
   out += "metrics.end\n";
+  // Series telemetry summary: the full JSONL is too large to commit, so the
+  // digest pins its record count, byte count and CRC — one flipped byte in
+  // any flush record (ordering, formatting, values) fails the comparison.
+  out += "timeseries.begin\n";
+  add("records", total_series_records);
+  add("bytes", merged_series.size());
+  std::snprintf(line, sizeof(line), "crc32=0x%08X\n",
+                Crc32({reinterpret_cast<const std::uint8_t*>(
+                           merged_series.data()),
+                       merged_series.size()}));
+  out += line;
+  out += "timeseries.end\n";
   return out;
 }
 
@@ -85,6 +97,10 @@ MultiExchangeResult MultiExchangeRunner::Run() {
     // owns this exchange, touching only this partition's slot.
     run.metrics.Merge(scenario.metrics());
     if (config_.capture_trace) run.trace = scenario.trace().buffer();
+    if (config_.capture_series) {
+      run.series = scenario.series().buffer();
+      run.series_records = scenario.series().records();
+    }
   });
 
   // The merge happens on the calling thread, in exchange order, after every
@@ -107,6 +123,8 @@ MultiExchangeResult MultiExchangeRunner::Run() {
                              run.mrt.end());
     result.metrics.Merge(run.metrics);
     result.merged_trace += run.trace;
+    result.merged_series += run.series;
+    result.total_series_records += run.series_records;
     result.total_messages += run.messages;
     result.total_events += run.events;
   }

@@ -38,6 +38,11 @@ struct MultiExchangeConfig {
   // ExchangeRun and the merged result. Off by default: traces are bulky and
   // only diagnostics want them.
   bool capture_trace = false;
+  // Copy each partition's series JSONL buffer (obs/timeseries.h) into its
+  // ExchangeRun and the merged result. On by default: the series records are
+  // bounded (one line per instrument per flush) and the digest pins them.
+  // A scenario.series_flush_interval of zero still disables the whole path.
+  bool capture_series = true;
 };
 
 // Everything one exchange partition produced.
@@ -56,6 +61,10 @@ struct ExchangeRun {
   // independent.
   obs::Registry metrics;
   std::string trace;  // JSONL trace buffer (empty unless capture_trace)
+  // This exchange's series JSONL records (empty unless capture_series):
+  // name-ordered within each flush, flushes in sim-time order.
+  std::string series;
+  std::uint64_t series_records = 0;
 };
 
 // Per-exchange results plus the fixed-order merge.
@@ -76,6 +85,12 @@ struct MultiExchangeResult {
   // capture_trace). Exchanges reuse collector-local names, so consumers
   // should replay segment by segment like merged_mrt.
   std::string merged_trace;
+  // Per-exchange series JSONL concatenated in exchange order (empty unless
+  // capture_series). Within a segment the records are already sorted by
+  // (t_ns, series name); consumers joining across exchanges should group by
+  // segment, like merged_mrt.
+  std::string merged_series;
+  std::uint64_t total_series_records = 0;
   std::uint64_t total_messages = 0;
   std::uint64_t total_events = 0;
 

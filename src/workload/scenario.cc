@@ -59,6 +59,22 @@ void ExchangeScenario::Build() {
     monitors_.back()->AttachMetrics(&metrics_);
   }
 
+  // --- streaming telemetry: series instruments + health detectors ---
+  // Every monitor feeds the same named instruments (one partition, one
+  // series), and the flush tick samples the shared windows for the health
+  // feed — so the caches below and the monitors' caches alias by name.
+  if (config_.series_flush_interval.nanos() > 0) {
+    series_.SetEwmaAlpha(config_.series_ewma_alpha);
+    health_ = std::make_unique<obs::HealthMonitor>(
+        config_.health, config_.series_flush_interval, &trace_, &metrics_);
+    series_updates_ = &series_.GetCounter("monitor.updates");
+    series_wwdup_ = &series_.GetCounter("monitor.wwdup");
+    series_aadup_ = &series_.GetCounter("monitor.aadup");
+    for (auto& monitor : monitors_) {
+      monitor->AttachTimeSeries(&series_, health_.get());
+    }
+  }
+
   // --- pathological provider selection: smallest table weight ---
   patho_provider_ = config_.patho_provider;
   if (config_.patho_enabled && patho_provider_ < 0) {
@@ -457,10 +473,35 @@ void ExchangeScenario::ScheduleProcesses() {
               [this] { EndUpgradeIncident(); });
   }
 
+  // The telemetry flush tick chain. Each tick reschedules the next from
+  // inside its own handler, so the end-of-run finalize (same timestamp as
+  // the last flush) runs after it rather than racing it on scheduler seq.
+  if (config_.series_flush_interval.nanos() > 0) {
+    sched_.At(TimePoint::Origin() + config_.series_flush_interval,
+              [this] { SeriesTick(); });
+  }
+
   ScheduleMidnight(0);
   // Day 0's maintenance/Saturday decisions.
   MaintenanceWindow(0);
   SaturdaySpike(0);
+}
+
+void ExchangeScenario::SeriesTick() {
+  const TimePoint now = sched_.Now();
+  // Feed the detectors the windows being closed by this flush (window()
+  // still holds the last interval's counts until Flush resets it).
+  health_->ObserveTick(
+      now, static_cast<std::uint64_t>(series_updates_->window()),
+      static_cast<std::uint64_t>(series_wwdup_->window()),
+      static_cast<std::uint64_t>(series_aadup_->window()));
+  series_.Flush(now);
+  const TimePoint next = now + config_.series_flush_interval;
+  if (next <= TimePoint::Origin() + config_.duration) {
+    sched_.At(next, [this] { SeriesTick(); });
+  } else {
+    health_->Finalize(now);
+  }
 }
 
 void ExchangeScenario::StartUpgradeIncident() {

@@ -29,7 +29,9 @@
 #include <vector>
 
 #include "core/monitor.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/link.h"
 #include "sim/router.h"
@@ -137,6 +139,20 @@ struct ScenarioConfig {
   // profile.*.wall_ns counters, excluded from snapshots by default. Never
   // enable for runs whose snapshots feed golden digests.
   bool profile_wall_clock = false;
+
+  // --- streaming telemetry (obs/timeseries.h, obs/health.h) ---
+  // Period of the sim-time flush event that drains the series instruments
+  // into JSONL records and feeds the health detectors. Zero (or negative)
+  // disables the whole telemetry path: no flush events, no per-event series
+  // cost beyond a null check (the micro_perf regression gate's
+  // configuration). Must divide the timer periods HealthConfig watches for
+  // the periodicity score to see them (10 s against 30 s/60 s by default).
+  Duration series_flush_interval = Duration::Seconds(10);
+  // EWMA smoothing for the counter series' per-window averages.
+  double series_ewma_alpha = 0.3;
+  // Detector thresholds (Goertzel periodicity, WWDup/AADup storm,
+  // flap-burst sessionizer).
+  obs::HealthConfig health;
 };
 
 class ExchangeScenario {
@@ -176,6 +192,13 @@ class ExchangeScenario {
   const obs::Registry& metrics() const { return metrics_; }
   obs::Tracer& trace() { return trace_; }
   const obs::Tracer& trace() const { return trace_; }
+  // The streaming telemetry pipeline: windowed series records drained by a
+  // periodic sim-time flush, and the online health detectors fed from the
+  // same ticks. health() is null when series_flush_interval disables the
+  // telemetry path.
+  obs::SeriesFlusher& series() { return series_; }
+  const obs::SeriesFlusher& series() const { return series_; }
+  const obs::HealthMonitor* health() const { return health_.get(); }
 
   // Fraction of the *visible* default-free table this provider is
   // responsible for today (Figure 6's x-axis).
@@ -203,6 +226,13 @@ class ExchangeScenario {
   void Bootstrap();
   void ScheduleProcesses();
   void ScheduleMidnight(int day);
+  // The periodic telemetry flush: samples the closed windows into the
+  // health detectors, drains the series instruments into JSONL records and
+  // reschedules itself while the next tick stays inside the configured
+  // duration (finalizing the detectors on the last tick). Never draws from
+  // rng_ and never touches routers or links: disabling telemetry must not
+  // move a single simulation byte.
+  void SeriesTick();
 
   // Event-process machinery: schedules the next arrival of a thinned
   // Poisson process with base rate `events_per_day` (at usage level 1).
@@ -243,9 +273,17 @@ class ExchangeScenario {
   topology::Universe universe_;
   UsageModel usage_;
   // Declared before the scheduler and routers: they cache pointers into the
-  // registry/tracer, so these must be destroyed last.
+  // registry/tracer, so these must be destroyed last. The series flusher and
+  // health monitor sit in the same tier (monitors cache series instrument
+  // pointers; health caches registry gauges).
   obs::Registry metrics_;
   obs::Tracer trace_;
+  obs::SeriesFlusher series_;
+  std::unique_ptr<obs::HealthMonitor> health_;
+  // Cached series instruments the flush tick samples for the health feed.
+  obs::WindowedCounter* series_updates_ = nullptr;
+  obs::WindowedCounter* series_wwdup_ = nullptr;
+  obs::WindowedCounter* series_aadup_ = nullptr;
   sim::Scheduler sched_;
   Rng rng_;
 

@@ -156,5 +156,31 @@ TEST(AggregateIntoBlock, StableAcrossComponentChurn) {
   EXPECT_EQ(*before, *after);  // identical announcement: no update emitted
 }
 
+#if defined(IRI_TRACE_ENABLED) && IRI_TRACE_ENABLED
+TEST(AggregateIntoBlock, EmitTracesExactJsonlBytes) {
+  obs::Tracer tracer;
+  auto agg = AggregateIntoBlock(
+      P("204.16.0.0/16"),
+      {R("204.16.1.0/24", {9}), R("204.16.2.0/24", {701})}, 701,
+      IPv4Address(1, 1, 1, 1), IPv4Address(2, 2, 2, 2), &tracer,
+      TimePoint::Origin() + Duration::Seconds(5));
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(tracer.buffer(),
+            "{\"t_ns\":5000000000,\"ev\":\"aggregate_emit\","
+            "\"block\":\"204.16.0.0/16\",\"aggregator\":701,"
+            "\"components\":2,\"foreign_origins\":1}\n");
+}
+
+TEST(AggregateIntoBlock, NoTraceWhenNothingIsCovered) {
+  obs::Tracer tracer;
+  auto agg = AggregateIntoBlock(P("204.16.0.0/16"), {R("10.0.0.0/24", {9})},
+                                701, IPv4Address(1, 1, 1, 1),
+                                IPv4Address(2, 2, 2, 2), &tracer,
+                                TimePoint::Origin());
+  EXPECT_FALSE(agg.has_value());
+  EXPECT_TRUE(tracer.buffer().empty());
+}
+#endif
+
 }  // namespace
 }  // namespace iri::bgp

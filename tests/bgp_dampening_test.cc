@@ -170,5 +170,33 @@ TEST_P(DampeningDecay, MonotoneDecay) {
 INSTANTIATE_TEST_SUITE_P(HalfLives, DampeningDecay,
                          ::testing::Values(5, 15, 30, 60));
 
+#if defined(IRI_TRACE_ENABLED) && IRI_TRACE_ENABLED
+TEST(DampeningTrace, SuppressAndReleaseEmitExactJsonlBytes) {
+  Dampener d;
+  obs::Tracer tracer;
+  d.SetTracer(&tracer);
+  // Two simultaneous withdrawal penalties land exactly on the suppress
+  // threshold (2000); the decayed penalty crosses back under the reuse
+  // threshold (750) well before T(2000), where the probe observes release.
+  EXPECT_EQ(d.OnWithdraw(kRoute, T(0)), DampVerdict::kPass);
+  EXPECT_EQ(d.OnWithdraw(kRoute, T(0)), DampVerdict::kSuppressed);
+  EXPECT_FALSE(d.IsSuppressed(kRoute, T(2000)));
+  EXPECT_EQ(
+      tracer.buffer(),
+      "{\"t_ns\":0,\"ev\":\"damp_suppress\","
+      "\"prefix\":\"192.42.113.0/24\",\"peer\":1,\"penalty\":2000}\n"
+      "{\"t_ns\":2000000000000,\"ev\":\"damp_release\","
+      "\"prefix\":\"192.42.113.0/24\",\"peer\":1,"
+      "\"held_ns\":2000000000000}\n");
+}
+
+TEST(DampeningTrace, NoTracerMeansNoEmission) {
+  Dampener d;
+  d.OnWithdraw(kRoute, T(0));
+  EXPECT_EQ(d.OnWithdraw(kRoute, T(0)), DampVerdict::kSuppressed);
+  SUCCEED();  // null tracer: the sites are runtime no-ops
+}
+#endif
+
 }  // namespace
 }  // namespace iri::bgp

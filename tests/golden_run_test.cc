@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -36,7 +37,20 @@ bool g_regen = false;
 struct GoldenCase {
   const char* name;
   MultiExchangeConfig (*make)();
+  // Expected health.storm.starts in the merged snapshot: 0 = the storm
+  // detector must stay quiet, 1 = it must fire at least once, -1 = unpinned.
+  int storms;
 };
+
+// Value of `counter <name> <n>` in the digest's embedded metrics snapshot;
+// ~0 when the counter is missing entirely.
+std::uint64_t DigestCounter(const std::string& digest,
+                            const std::string& name) {
+  const std::string key = "counter " + name + " ";
+  const auto pos = digest.find(key);
+  if (pos == std::string::npos) return ~std::uint64_t{0};
+  return std::strtoull(digest.c_str() + pos + key.size(), nullptr, 10);
+}
 
 // Small on purpose: each scenario runs three times per suite invocation
 // (and again under TSan in CI). Shapes cover the single-exchange classic,
@@ -111,6 +125,22 @@ TEST_P(GoldenRun, MatchesCommittedDigestAtEveryThreadCount) {
   EXPECT_NE(serial.find("counter sched.tasks "), std::string::npos)
       << c.name << ": scheduler instruments missing from the merged snapshot";
 
+  // The streaming-telemetry section (series record count/bytes/CRC) and the
+  // health detectors' instruments ride in the same digest: series JSONL and
+  // health.* gauges are thread-count independent or these comparisons fail.
+  EXPECT_NE(serial.find("timeseries.begin\n"), std::string::npos)
+      << c.name << ": digest lost its timeseries section";
+  EXPECT_NE(serial.find("counter health.ticks "), std::string::npos)
+      << c.name << ": health instruments missing from the merged snapshot";
+  const std::uint64_t storms = DigestCounter(serial, "health.storm.starts");
+  if (c.storms == 0) {
+    EXPECT_EQ(storms, 0u)
+        << c.name << ": storm detector fired on a non-pathological scenario";
+  } else if (c.storms > 0) {
+    EXPECT_GE(storms, 1u)
+        << c.name << ": storm detector missed the pathological incident";
+  }
+
   const std::string path = GoldenPath(c);
   if (g_regen) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -133,9 +163,9 @@ TEST_P(GoldenRun, MatchesCommittedDigestAtEveryThreadCount) {
 
 INSTANTIATE_TEST_SUITE_P(
     Canonical, GoldenRun,
-    ::testing::Values(GoldenCase{"baseline_single", &BaselineSingle},
-                      GoldenCase{"five_exchange", &FiveExchange},
-                      GoldenCase{"pathological_day", &PathologicalDay}),
+    ::testing::Values(GoldenCase{"baseline_single", &BaselineSingle, 0},
+                      GoldenCase{"five_exchange", &FiveExchange, -1},
+                      GoldenCase{"pathological_day", &PathologicalDay, 1}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       return std::string(info.param.name);
     });

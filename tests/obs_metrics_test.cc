@@ -106,13 +106,32 @@ TEST(Registry, MergeSumsCountersGaugesAndHistograms) {
   a.Merge(b);
   EXPECT_EQ(a.GetCounter("c").value(), 7u);
   EXPECT_EQ(a.GetCounter("only_b").value(), 1u);
-  // Gauges add under merge: a merged peak is the sum of per-partition
-  // peaks, not a global max (documented in DESIGN.md §9).
+  // Default-policy (kSum) gauges add under merge.
   EXPECT_EQ(a.GetGauge("g").value(), 15);
   Histogram& h = a.GetHistogram("h", edges);
   EXPECT_EQ(h.count(), 2u);
   EXPECT_EQ(h.buckets()[0], 1u);
   EXPECT_EQ(h.buckets()[1], 1u);
+}
+
+TEST(Registry, MaxPolicyGaugesMergeByMaximum) {
+  // Peak/score gauges (sched.peak_pending, health.*) register with
+  // GaugeMerge::kMax: the merged value is the worst partition, never a sum
+  // of per-partition peaks (DESIGN.md §9).
+  Registry a;
+  Registry b;
+  a.GetGauge("peak", Stability::kDeterministic, GaugeMerge::kMax).RaiseTo(10);
+  b.GetGauge("peak", Stability::kDeterministic, GaugeMerge::kMax).RaiseTo(7);
+  b.GetGauge("only_b", Stability::kDeterministic, GaugeMerge::kMax)
+      .RaiseTo(4);
+  a.Merge(b);
+  EXPECT_EQ(a.GetGauge("peak").value(), 10);
+  // Creation through Merge carries the source's policy.
+  Registry c;
+  c.GetGauge("only_b", Stability::kDeterministic, GaugeMerge::kMax)
+      .RaiseTo(2);
+  a.Merge(c);
+  EXPECT_EQ(a.GetGauge("only_b").value(), 4);
 }
 
 TEST(Registry, MergeIsOrderInsensitiveOnDisjointSources) {

@@ -404,6 +404,23 @@ SELF_TEST_CASES = {
         "int Draw() { return rand(); }  // iri-lint: allow(rng) seeded fallback\n",
         set(),
     ),
+    # The streaming-telemetry layer (timeseries/health) lives in obs: it
+    # consumes only tick-sampled counts and peer ids, so obs -> {obs,
+    # netbase} stays closed. A clean detector file must not fire anything.
+    "src/obs/clean_health.cc": (
+        '#include "obs/health.h"\n'
+        '#include "netbase/time.h"\n'
+        '#include "obs/metrics.h"\n'
+        '#include "obs/trace.h"\n'
+        "inline int Detect() { return 1; }\n",
+        set(),
+    ),
+    # ...and a detector reaching into the simulator (to peek at a router,
+    # say) would invert the layering.
+    "src/obs/bad_health_layering.cc": (
+        '#include "sim/router.h"\n',
+        {"include-layering"},
+    ),
 }
 
 
