@@ -27,7 +27,9 @@ struct EigenResult {
     return vectors[row * n + k];
   }
 };
-EigenResult JacobiEigenSymmetric(std::vector<double> matrix, std::size_t n);
+// `a` is the row-major symmetric n*n matrix, taken by value and consumed
+// (the rotation sweeps diagonalize it in place).
+EigenResult JacobiEigenSymmetric(std::vector<double> a, std::size_t n);
 
 struct SsaComponent {
   double eigenvalue = 0;

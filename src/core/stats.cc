@@ -42,6 +42,9 @@ void PrefixPeerDaily::Roll(int new_day) {
     dist.day = current_day_;
     for (std::size_t i = 0; i < live_.size(); ++i) {
       dist.counts[i].reserve(live_[i].size());
+      // Hash-order iteration is safe here: only the counts are collected,
+      // and the sort below makes the result order-insensitive.
+      // iri-det: allow(unordered-in-output)
       for (const auto& [key, count] : live_[i]) {
         dist.counts[i].push_back(count);
       }

@@ -1,0 +1,86 @@
+// Dynamic half of the determinism-gap demonstration (see
+// tools/lint/detfixtures/src/workload/digest_gap.cc). FxGapTally::Digest
+// renders an unordered_map in hash order — a real portability bug — yet this
+// test shows that rerunning it in-process yields byte-identical output every
+// time. A golden-run harness (which is exactly such a rerun-and-compare)
+// therefore passes forever on one standard library and only breaks when the
+// toolchain changes under it. The static analyzer closes that hole: the
+// det_gap_flagged ctest requires `iri_det.py --must-flag` to report
+// unordered-in-output on this very fixture.
+
+#include "workload/digest_gap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iri::workload {
+namespace {
+
+std::vector<std::uint32_t> FixtureKeys() {
+  // Enough keys to force several rehashes so bucket growth is exercised.
+  std::vector<std::uint32_t> keys;
+  std::uint32_t x = 0x9e3779b9u;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 1664525u + 1013904223u;
+    keys.push_back(x >> 8);
+  }
+  return keys;
+}
+
+std::string RunHashOrder() {
+  FxGapTally tally;
+  tally.Count(FixtureKeys());
+  tally.Count(FixtureKeys());  // duplicates: counts become 2
+  return tally.Digest();
+}
+
+std::string RunSorted() {
+  FxGapTally tally;
+  tally.Count(FixtureKeys());
+  tally.Count(FixtureKeys());
+  return tally.SortedDigest();
+}
+
+// The "golden runs stay green" half: fresh tallies over the same key stream
+// digest identically, so byte-comparing against a blessed output cannot
+// expose the hash-order dependence.
+TEST(DetGapFixture, HashOrderDigestIsRerunStable) {
+  const std::string first = RunHashOrder();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(first, RunHashOrder()) << "rerun " << i;
+  }
+}
+
+// Both renderings agree on content (same line multiset), differing only in
+// order — i.e. the bug is purely an ordering hazard, which is exactly the
+// class of defect byte-compare goldens are blind to until the stdlib moves.
+TEST(DetGapFixture, SortedDigestHasSameLines) {
+  std::string hashed = RunHashOrder();
+  std::string sorted = RunSorted();
+  auto lines = [](const std::string& s) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      std::size_t nl = s.find('\n', pos);
+      if (nl == std::string::npos) nl = s.size();
+      out.push_back(s.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(lines(hashed), lines(sorted));
+  EXPECT_NE(hashed.find("# fx gap digest v1"), std::string::npos);
+}
+
+// The fix is deterministic by construction: key-sorted emission.
+TEST(DetGapFixture, SortedDigestIsStable) {
+  EXPECT_EQ(RunSorted(), RunSorted());
+}
+
+}  // namespace
+}  // namespace iri::workload

@@ -1,0 +1,12 @@
+// One half of a deliberate include cycle (with cycle_b.h). #pragma once
+// keeps it compilable; the include-layering pass must still reject the cycle
+// because a cyclic include DAG has no valid layer order at all.
+#pragma once
+
+#include "bgp/cycle_b.h"
+
+namespace iri::bgp {
+struct FxCycleA {
+  int a = 0;
+};
+}  // namespace iri::bgp

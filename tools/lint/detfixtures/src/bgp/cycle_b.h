@@ -1,0 +1,14 @@
+// Other half of the deliberate include cycle — see cycle_a.h. The DFS
+// reports the back edge, which lives in this file (visited second in sorted
+// order).
+//
+// det-expect: include-layering
+#pragma once
+
+#include "bgp/cycle_a.h"
+
+namespace iri::bgp {
+struct FxCycleB {
+  int b = 0;
+};
+}  // namespace iri::bgp

@@ -1,0 +1,9 @@
+// Clean bgp-layer header for the layering fixtures.
+#pragma once
+
+namespace iri::bgp {
+struct FxRoute {
+  unsigned prefix = 0;
+  unsigned length = 0;
+};
+}  // namespace iri::bgp

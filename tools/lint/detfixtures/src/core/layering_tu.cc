@@ -1,0 +1,21 @@
+// Translation unit that pulls the layering fixture headers into the model
+// (headers are only analyzed when some TU reaches them). core may include
+// netbase and bgp, so this file itself is clean — the findings belong to
+// layering_bad.h (layer violation) and cycle_b.h (back edge of the cycle).
+
+#include "bgp/cycle_a.h"
+#include "netbase/layering_bad.h"
+#include "netbase/layering_good.h"
+
+namespace iri::core {
+
+unsigned FxUseLayers() {
+  bgp::FxRoute route;
+  route.length = 24;
+  bgp::FxCycleA a;
+  bgp::FxCycleB b;
+  return FxPrefixBits(route) + FxHostBits(route.length)
+       + static_cast<unsigned>(a.a + b.b);
+}
+
+}  // namespace iri::core

@@ -1,0 +1,21 @@
+// Bad: raw threading outside src/sim/parallel.cc. A private thread (or any
+// shared-mutable-state primitive) makes event interleaving scheduler- and
+// load-dependent, which breaks bit-for-bit reproducibility.
+//
+// det-expect: thread-confinement
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace iri::core {
+
+std::atomic<int> fx_shared_counter{0};
+std::mutex fx_mutex;
+
+void FxSpawn() {
+  std::thread worker([] { fx_shared_counter.fetch_add(1); });
+  worker.join();
+}
+
+}  // namespace iri::core

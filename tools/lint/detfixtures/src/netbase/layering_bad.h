@@ -1,0 +1,12 @@
+// Bad: netbase is the bottom layer and may include nothing above itself.
+// Reaching up into bgp inverts the netbase -> obs -> bgp -> ... -> workload
+// order the whole build hangs off.
+//
+// det-expect: include-layering
+#pragma once
+
+#include "bgp/fxroute.h"
+
+namespace iri {
+inline unsigned FxPrefixBits(const bgp::FxRoute& r) { return r.length; }
+}  // namespace iri

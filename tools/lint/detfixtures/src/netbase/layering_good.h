@@ -1,0 +1,6 @@
+// Good: netbase including only netbase. Zero findings expected.
+#pragma once
+
+namespace iri {
+inline unsigned FxHostBits(unsigned length) { return 32u - length; }
+}  // namespace iri

@@ -1,0 +1,31 @@
+// Bad: a metrics snapshot (golden-digest input) transitively reads the wall
+// clock. The taint travels through a helper, so a line-level regex on the
+// sink function would never see it — only call-path analysis does.
+//
+// det-expect: wall-clock-taint
+
+#include <cstdint>
+#include <string>
+
+namespace iri {
+// Declaration only (netbase/time.h); the body is outside the fixture model,
+// which is exactly the situation the source-call allowlist handles.
+std::int64_t WallClockNanos();
+}  // namespace iri
+
+namespace iri::obs {
+
+namespace {
+std::int64_t StampHelper() { return WallClockNanos(); }
+}  // namespace
+
+class FxClockRegistry {
+ public:
+  std::string SnapshotText() const;
+};
+
+std::string FxClockRegistry::SnapshotText() const {
+  return std::to_string(StampHelper());
+}
+
+}  // namespace iri::obs

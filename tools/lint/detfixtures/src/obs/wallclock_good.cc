@@ -1,0 +1,26 @@
+// Good: the snapshot is a pure function of simulated time handed in by the
+// caller. No wall-clock taint anywhere on the sink path.
+
+#include <cstdint>
+#include <string>
+
+namespace iri::obs {
+
+namespace {
+std::int64_t SimStampHelper(std::int64_t sim_ns) { return sim_ns / 1000; }
+}  // namespace
+
+class FxSimRegistry {
+ public:
+  explicit FxSimRegistry(std::int64_t sim_ns) : sim_ns_(sim_ns) {}
+  std::string SnapshotText() const;
+
+ private:
+  std::int64_t sim_ns_;
+};
+
+std::string FxSimRegistry::SnapshotText() const {
+  return std::to_string(SimStampHelper(sim_ns_));
+}
+
+}  // namespace iri::obs

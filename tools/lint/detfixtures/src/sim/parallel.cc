@@ -1,0 +1,21 @@
+// Good: this path (src/sim/parallel.cc) is the one sanctioned home for raw
+// threading — the fork-join pool behind sim::ParallelFor. The same constructs
+// that fail in threads_bad.cc must pass here. Zero findings expected.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace iri::sim {
+
+void FxPool(int workers) {
+  std::atomic<int> done{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    pool.emplace_back([&done] { done.fetch_add(1); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace iri::sim

@@ -1,0 +1,26 @@
+// Good: draws come from a seeded SplitMix64-style stream handed down by the
+// caller — the shape netbase/rng.h prescribes. Must produce zero findings.
+
+#include <cstdint>
+
+namespace iri::sim {
+
+class FxStream {
+ public:
+  constexpr explicit FxStream(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+double FxJitterSeeded(FxStream& stream) {
+  return static_cast<double>(stream.Next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace iri::sim

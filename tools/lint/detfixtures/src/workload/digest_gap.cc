@@ -1,0 +1,49 @@
+// The gap this fixture documents
+// ------------------------------
+// The repo's dynamic determinism gate (tests/golden_run_test.cc) replays
+// scenarios and byte-compares digests — including at 1/2/4/N threads. That
+// catches *interleaving* nondeterminism, but it cannot catch hash-order
+// nondeterminism: libstdc++'s unordered_map iterates in a fixed order for a
+// fixed key sequence and bucket count, identically on every rerun of the
+// same binary. FxGapTally::Digest below therefore produces byte-identical
+// output run after run on the machine that blesses the goldens — and
+// different bytes on a standard library with another hash/bucket scheme
+// (libc++, MSVC), or after a libstdc++ upgrade changes growth policy. A
+// golden digest blessed today goes stale the day the toolchain moves.
+//
+// tests/det_gap_fixture_test.cc proves the first half (rerun-stability, i.e.
+// golden runs keep passing), and the det_gap_flagged ctest proves the second
+// half: `iri_det.py --must-flag <this file>` must report unordered-in-output
+// here, closing statically the hole the dynamic suite cannot see.
+//
+// det-expect: unordered-in-output
+
+#include "digest_gap.h"
+
+#include <algorithm>
+#include <map>
+
+namespace iri::workload {
+
+void FxGapTally::Count(const std::vector<std::uint32_t>& prefixes) {
+  for (auto p : prefixes) ++tally_[p];
+}
+
+std::string FxGapTally::Digest() const {
+  std::string out = "# fx gap digest v1\n";
+  for (const auto& [prefix, count] : tally_) {
+    out += std::to_string(prefix) + "=" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+std::string FxGapTally::SortedDigest() const {
+  std::map<std::uint32_t, std::uint32_t> sorted(tally_.begin(), tally_.end());
+  std::string out = "# fx gap digest v1\n";
+  for (const auto& [prefix, count] : sorted) {
+    out += std::to_string(prefix) + "=" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace iri::workload

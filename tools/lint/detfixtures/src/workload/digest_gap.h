@@ -1,0 +1,30 @@
+// Deliberately nondeterministic digest fixture — see digest_gap.cc for the
+// full story of the gap between golden-run testing and static analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace iri::workload {
+
+// Tallies prefixes into a std::unordered_map and renders `prefix=count`
+// lines in hash order. iri_det must flag Digest() (unordered-in-output); the
+// golden-run suite cannot, because hash order is reproducible on any
+// *single* standard library.
+class FxGapTally {
+ public:
+  void Count(const std::vector<std::uint32_t>& prefixes);
+
+  // Hash-order rendering: the determinism bug.
+  std::string Digest() const;
+
+  // The corrected rendering: same data, key-sorted before emission.
+  std::string SortedDigest() const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> tally_;
+};
+
+}  // namespace iri::workload

@@ -1,0 +1,48 @@
+"""Baseline load/diff/write for iri_det findings.
+
+The baseline (tools/lint/det_baseline.json) pins the set of accepted
+pre-existing findings by stable identity key (check|file|function|detail —
+no line numbers, so unrelated edits don't churn it). `--diff-baseline` makes
+the gate blocking for *new* findings from day one while the baseline is
+burned down; an empty baseline means the repo is fully clean.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .passes import Finding
+
+
+def load(path: pathlib.Path) -> dict[str, dict]:
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    out = {}
+    for item in data.get("findings", []):
+        out[item["key"]] = item
+    return out
+
+
+def dump(findings: list[Finding], path: pathlib.Path, frontend: str) -> None:
+    data = {
+        "comment": ("Accepted pre-existing iri_det findings. Shrink this "
+                    "file; never grow it without a review-visible reason."),
+        "frontend": frontend,
+        "findings": [
+            {"key": f.key(), "check": f.check, "file": f.file,
+             "function": f.function, "detail": f.detail}
+            for f in sorted(findings, key=lambda f: f.key())
+        ],
+    }
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def diff(findings: list[Finding], baseline: dict[str, dict]
+         ) -> tuple[list[Finding], list[str]]:
+    """Returns (new findings not in baseline, baseline keys now fixed)."""
+    current = {f.key(): f for f in findings}
+    new = [f for key, f in sorted(current.items()) if key not in baseline]
+    fixed = [key for key in sorted(baseline) if key not in current]
+    return new, fixed

@@ -41,9 +41,22 @@ invariants that make that true and that clang-tidy cannot express:
 Suppress a finding (sparingly, with a reason in a nearby comment) by putting
 `iri-lint: allow(<rule>)` in a comment on the offending line.
 
+Division of labour with iri_det.py (the AST-level semantic analyzer): when
+build/compile_commands.json exists, the threads, unordered-iteration, and
+include-layering rules are delegated for every file in the compilation
+closure — iri_det verifies those same invariants semantically (call-graph
+reachability instead of per-file regex), so running both would double-report
+with the regex version as the less precise voice. The regex rules still
+apply to files *outside* the compilation database (dead code, not-yet-wired
+sources), and the rng / wall-clock / pragma-once rules stay regex everywhere
+(they are textual properties; the AST adds nothing). `--no-delegate`
+restores full regex coverage, e.g. when the build tree is stale.
+
 Usage:
   iri_lint.py [--root REPO_ROOT]     lint the tree (default: repo root
                                      inferred from this file's location)
+  iri_lint.py --no-delegate          ignore compile_commands.json and apply
+                                     every regex rule to every file
   iri_lint.py --self-test            verify the linter catches seeded
                                      violations (run by CTest)
 
@@ -63,6 +76,11 @@ import tempfile
 
 SRC_EXTENSIONS = {".h", ".hpp", ".cc", ".cpp"}
 
+# iri_det's self-test fixtures are violations *on purpose* — the analyzer's
+# own ctest asserts it flags them. They are not product code and must not
+# fail the tree lint.
+EXCLUDED_PREFIXES = ("tools/lint/detfixtures/",)
+
 
 def lintable_files(root: pathlib.Path) -> list[pathlib.Path]:
     files = []
@@ -71,9 +89,36 @@ def lintable_files(root: pathlib.Path) -> list[pathlib.Path]:
         if not base.is_dir():
             continue
         for path in sorted(base.rglob("*")):
-            if path.suffix in SRC_EXTENSIONS:
-                files.append(path)
+            if path.suffix not in SRC_EXTENSIONS:
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith(EXCLUDED_PREFIXES):
+                continue
+            files.append(path)
     return files
+
+
+# Rules superseded by iri_det.py's AST-level passes for files inside the
+# compilation-database closure (see module docstring).
+DELEGATED_RULES_NOTE = ("threads", "unordered-iteration", "include-layering")
+
+
+def ast_covered_files(root: pathlib.Path) -> set[pathlib.Path]:
+    """Files iri_det.py verifies semantically; empty set disables delegation."""
+    try:
+        sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+        from detlib import compdb  # noqa: PLC0415  (optional sibling package)
+    except ImportError:
+        return set()
+    finally:
+        sys.path.pop(0)
+    compdb_path = compdb.find_compdb(root)
+    if compdb_path is None:
+        return set()
+    try:
+        return compdb.covered_files(compdb_path, root)
+    except compdb.CompDbError:
+        return set()
 
 
 # --------------------------------------------------------------------------
@@ -210,7 +255,8 @@ NO_EXCEPTION_LAYERS = {"netbase"}
 INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 
 
-def lint_file(path: pathlib.Path, rel: str, text: str) -> list[Finding]:
+def lint_file(path: pathlib.Path, rel: str, text: str,
+              ast_covered: bool = False) -> list[Finding]:
     findings: list[Finding] = []
     raw_lines = text.splitlines()
     suppressions = collect_suppressions(raw_lines)
@@ -235,14 +281,14 @@ def lint_file(path: pathlib.Path, rel: str, text: str) -> list[Finding]:
                     report(line_no, "wall-clock",
                            f"{what} outside netbase/time.*; iri runs on "
                            "simulated time only")
-        if rel not in THREAD_EXEMPT:
+        if rel not in THREAD_EXEMPT and not ast_covered:
             for pattern, what in THREAD_PATTERNS:
                 if pattern.search(line):
                     report(line_no, "threads",
                            f"{what} outside sim/parallel.cc; use "
                            "sim::ParallelFor over independent partitions "
                            "(the only interleaving-independent shape)")
-        if rel not in ATOMIC_EXEMPT:
+        if rel not in ATOMIC_EXEMPT and not ast_covered:
             for pattern, what in ATOMIC_PATTERNS:
                 if pattern.search(line):
                     report(line_no, "threads",
@@ -251,7 +297,7 @@ def lint_file(path: pathlib.Path, rel: str, text: str) -> list[Finding]:
                            "bit-for-bit reproducibility")
 
     # unordered-iteration ---------------------------------------------------
-    if any(r.search(rel) for r in OUTPUT_PATH_RES):
+    if not ast_covered and any(r.search(rel) for r in OUTPUT_PATH_RES):
         unordered_names = set(UNORDERED_DECL_RE.findall(scrub(text)))
         iter_res = []
         for name in unordered_names:
@@ -275,7 +321,8 @@ def lint_file(path: pathlib.Path, rel: str, text: str) -> list[Finding]:
 
     # include-layering ------------------------------------------------------
     parts = pathlib.PurePosixPath(rel).parts
-    if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_ALLOWED:
+    if (not ast_covered and len(parts) >= 3 and parts[0] == "src"
+            and parts[1] in LAYER_ALLOWED):
         layer = parts[1]
         allowed = LAYER_ALLOWED[layer]
         # Raw lines: the scrubber blanks the quoted include path.
@@ -295,8 +342,9 @@ def lint_file(path: pathlib.Path, rel: str, text: str) -> list[Finding]:
     return findings
 
 
-def lint_tree(root: pathlib.Path) -> list[Finding]:
+def lint_tree(root: pathlib.Path, delegate: bool = True) -> list[Finding]:
     findings: list[Finding] = []
+    covered = ast_covered_files(root) if delegate else set()
     for path in lintable_files(root):
         rel = path.relative_to(root).as_posix()
         try:
@@ -304,7 +352,8 @@ def lint_tree(root: pathlib.Path) -> list[Finding]:
         except OSError as err:
             findings.append(Finding(path, 1, "io", f"unreadable: {err}"))
             continue
-        findings.extend(lint_file(path, rel, text))
+        findings.extend(lint_file(path, rel, text,
+                                  ast_covered=path.resolve() in covered))
     return findings
 
 
@@ -447,13 +496,51 @@ def self_test() -> int:
             if unexpected:
                 failures.append(f"{rel}: unexpected rule(s) "
                                 f"{sorted(unexpected)} fired")
+
+        # Delegation: with a compile_commands.json covering bad_threads.cc
+        # and bad_clock.cc, the AST-superseded rules go quiet for covered
+        # files (iri_det owns them there), the textual rules keep firing,
+        # and uncovered files keep full regex coverage.
+        import json as _json
+        build = root / "build"
+        build.mkdir(exist_ok=True)
+        covered_rels = ["src/core/bad_threads.cc", "src/core/bad_clock.cc"]
+        (build / "compile_commands.json").write_text(_json.dumps([
+            {"directory": str(root),
+             "command": f"g++ -std=c++20 -c {root / rel} -o /dev/null",
+             "file": str(root / rel)}
+            for rel in covered_rels]), encoding="utf-8")
+        delegated = lint_tree(root, delegate=True)
+        by_file_d: dict[str, set[str]] = {}
+        for f in delegated:
+            by_file_d.setdefault(
+                f.path.relative_to(root).as_posix(), set()).add(f.rule)
+        if "threads" in by_file_d.get("src/core/bad_threads.cc", set()):
+            failures.append("delegation: threads still fired for a "
+                            "compdb-covered file")
+        if "wall-clock" not in by_file_d.get("src/core/bad_clock.cc", set()):
+            failures.append("delegation: wall-clock (textual rule) went "
+                            "quiet for a covered file")
+        if "threads" not in by_file_d.get("src/workload/bad_atomic.cc", set()):
+            failures.append("delegation: threads went quiet for an "
+                            "*uncovered* file")
+        if "include-layering" not in by_file_d.get(
+                "src/netbase/bad_layering.h", set()):
+            failures.append("delegation: include-layering went quiet for an "
+                            "uncovered header")
+        # --no-delegate restores the baseline behaviour exactly.
+        undelegated = lint_tree(root, delegate=False)
+        if ({(f.path, f.line, f.rule) for f in undelegated}
+                != {(f.path, f.line, f.rule) for f in findings}):
+            failures.append("--no-delegate did not reproduce the full "
+                            "regex finding set")
     if failures:
         print("iri_lint self-test FAILED:")
         for f in failures:
             print(f"  {f}")
         return 1
     print("iri_lint self-test passed "
-          f"({len(SELF_TEST_CASES)} seeded cases).")
+          f"({len(SELF_TEST_CASES)} seeded cases + delegation).")
     return 0
 
 
@@ -462,6 +549,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--root", type=pathlib.Path,
                         default=pathlib.Path(__file__).resolve().parents[2])
     parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--no-delegate", action="store_true",
+                        help="apply every regex rule to every file even when "
+                             "compile_commands.json would let iri_det.py own "
+                             "the semantic rules")
     args = parser.parse_args(argv)
 
     if args.self_test:
@@ -471,13 +562,18 @@ def main(argv: list[str]) -> int:
         print(f"iri_lint: no src/ under {args.root}", file=sys.stderr)
         return 2
 
-    findings = lint_tree(args.root)
+    delegate = not args.no_delegate
+    findings = lint_tree(args.root, delegate=delegate)
     for f in findings:
         print(f)
+    covered = len(ast_covered_files(args.root)) if delegate else 0
+    mode = (f"delegating {'/'.join(DELEGATED_RULES_NOTE)} to iri_det for "
+            f"{covered} compdb-covered file(s)" if covered
+            else "full regex coverage")
     if findings:
-        print(f"iri_lint: {len(findings)} finding(s).")
+        print(f"iri_lint: {len(findings)} finding(s) ({mode}).")
         return 1
-    print(f"iri_lint: clean ({len(lintable_files(args.root))} files).")
+    print(f"iri_lint: clean ({len(lintable_files(args.root))} files, {mode}).")
     return 0
 
 
