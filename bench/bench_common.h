@@ -87,6 +87,17 @@ inline double FullScale(double value, const Flags& flags) {
   return value * flags.scale_denominator;
 }
 
+// True when any argument starts with `prefix`. The google-benchmark mains
+// use this to inject a default --benchmark_out destination (the file
+// tools/bench/compare.py diffs) only when the caller didn't pick their own.
+inline bool HasArgPrefix(int argc, char** argv, const char* prefix) {
+  const std::size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return true;
+  }
+  return false;
+}
+
 // One-line digest of the health.* instruments a run's streaming detectors
 // produced (obs/health.h). Non-const registry: instruments are reached
 // through the get-or-create accessors.

@@ -3,8 +3,9 @@
 // end-to-end simulator event rate.
 #include <benchmark/benchmark.h>
 
-#include <string_view>
 #include <vector>
+
+#include "bench_common.h"
 
 #include "bgp/decision.h"
 #include "bgp/message.h"
@@ -173,13 +174,7 @@ int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   char out_flag[] = "--benchmark_out=BENCH_micro_perf.json";
   char fmt_flag[] = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).rfind("--benchmark_out=", 0) == 0) {
-      has_out = true;
-    }
-  }
-  if (!has_out) {
+  if (!iri::bench::HasArgPrefix(argc, argv, "--benchmark_out=")) {
     args.push_back(out_flag);
     args.push_back(fmt_flag);
   }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "sim/parallel.h"
 #include "workload/multi_exchange_runner.h"
 
@@ -94,41 +95,29 @@ int main(int argc, char** argv) {
               runs.back().threads, best_rate / serial_rate,
               sim::DefaultParallelism());
 
-  std::FILE* json = std::fopen(out_path.c_str(), "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Field("bench", "parallel_scaling")
+      .Field("exchanges", 5)
+      .Field("scale_denominator", flags.scale_denominator, 0)
+      .Field("days", flags.days, 3)
+      .Field("providers", flags.providers)
+      .Field("seed", flags.seed)
+      .Field("default_parallelism", sim::DefaultParallelism());
+  json.BeginArray("runs");
+  for (const Run& r : runs) {
+    json.BeginObject(nullptr, /*compact=*/true)
+        .Field("threads", r.threads)
+        .Field("seconds", r.seconds, 4)
+        .Field("updates", r.updates)
+        .Field("updates_per_sec", static_cast<double>(r.updates) / r.seconds,
+               1)
+        .Field("sim_events", r.sim_events)
+        .EndObject();
   }
-  std::fprintf(json,
-               "{\n"
-               "  \"bench\": \"parallel_scaling\",\n"
-               "  \"exchanges\": 5,\n"
-               "  \"scale_denominator\": %.0f,\n"
-               "  \"days\": %g,\n"
-               "  \"providers\": %d,\n"
-               "  \"seed\": %llu,\n"
-               "  \"default_parallelism\": %d,\n"
-               "  \"runs\": [\n",
-               flags.scale_denominator, flags.days, flags.providers,
-               static_cast<unsigned long long>(flags.seed),
-               sim::DefaultParallelism());
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const Run& r = runs[i];
-    std::fprintf(json,
-                 "    {\"threads\": %d, \"seconds\": %.4f, \"updates\": %llu, "
-                 "\"updates_per_sec\": %.1f, \"sim_events\": %llu}%s\n",
-                 r.threads, r.seconds,
-                 static_cast<unsigned long long>(r.updates),
-                 static_cast<double>(r.updates) / r.seconds,
-                 static_cast<unsigned long long>(r.sim_events),
-                 i + 1 < runs.size() ? "," : "");
-  }
-  std::fprintf(json,
-               "  ],\n"
-               "  \"speedup_vs_serial\": %.3f\n"
-               "}\n",
-               best_rate / serial_rate);
-  std::fclose(json);
+  json.EndArray();
+  json.Field("speedup_vs_serial", best_rate / serial_rate, 3).EndObject();
+  if (!json.WriteFile(out_path)) return 1;
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -103,6 +103,12 @@ void EncodeAttributes(const PathAttributes& attrs, ByteWriter& out) {
 
 PathAttributes DecodeAttributes(ByteReader& in, std::size_t total_len) {
   PathAttributes attrs;
+  DecodeAttributesInto(in, total_len, attrs);
+  return attrs;
+}
+
+void DecodeAttributesInto(ByteReader& in, std::size_t total_len,
+                          PathAttributes& attrs) {
   const std::size_t end = in.position() + total_len;
   while (in.ok() && in.position() < end) {
     const std::uint8_t flags = in.U8();
@@ -114,7 +120,7 @@ PathAttributes DecodeAttributes(ByteReader& in, std::size_t total_len) {
     switch (static_cast<AttrType>(type)) {
       case AttrType::kOrigin: {
         const std::uint8_t o = in.U8();
-        if (o > 2) { in.MarkBad(); return attrs; }
+        if (o > 2) { in.MarkBad(); return; }
         attrs.origin = static_cast<Origin>(o);
         break;
       }
@@ -141,7 +147,7 @@ PathAttributes DecodeAttributes(ByteReader& in, std::size_t total_len) {
         break;
       }
       case AttrType::kCommunity: {
-        if (len % 4 != 0) { in.MarkBad(); return attrs; }
+        if (len % 4 != 0) { in.MarkBad(); return; }
         for (std::size_t i = 0; i < len / 4; ++i) {
           attrs.communities.push_back(in.U32());
         }
@@ -156,11 +162,11 @@ PathAttributes DecodeAttributes(ByteReader& in, std::size_t total_len) {
     }
     if (in.position() != body_end) {
       in.MarkBad();
-      return attrs;
+      return;
     }
   }
   if (in.position() != end) in.MarkBad();
-  return attrs;
+  return;
 }
 
 std::string PathAttributes::ToString() const {

@@ -9,6 +9,18 @@ std::uint32_t LocalPrefOf(const PathAttributes& a) {
 
 std::uint32_t MedOf(const PathAttributes& a) { return a.med.value_or(0); }
 
+// Interned candidates read the precomputed value; others recompute.
+std::uint32_t DecisionLengthOf(const Candidate& c) {
+  return c.as_path_id != kInvalidAsPathId
+             ? c.decision_length
+             : static_cast<std::uint32_t>(c.attributes.as_path.DecisionLength());
+}
+
+Asn FirstAsnOf(const Candidate& c) {
+  return c.as_path_id != kInvalidAsPathId ? c.first_asn
+                                          : c.attributes.as_path.FirstAsn();
+}
+
 }  // namespace
 
 bool Preferred(const Candidate& a, const Candidate& b) {
@@ -18,8 +30,8 @@ bool Preferred(const Candidate& a, const Candidate& b) {
   if (lp_a != lp_b) return lp_a > lp_b;
 
   // 2. AS_PATH length, shorter wins.
-  const std::size_t len_a = a.attributes.as_path.DecisionLength();
-  const std::size_t len_b = b.attributes.as_path.DecisionLength();
+  const std::uint32_t len_a = DecisionLengthOf(a);
+  const std::uint32_t len_b = DecisionLengthOf(b);
   if (len_a != len_b) return len_a < len_b;
 
   // 3. ORIGIN, lower wins.
@@ -28,7 +40,7 @@ bool Preferred(const Candidate& a, const Candidate& b) {
   }
 
   // 4. MED, lower wins, but only comparable for the same neighbor AS.
-  if (a.attributes.as_path.FirstAsn() == b.attributes.as_path.FirstAsn()) {
+  if (FirstAsnOf(a) == FirstAsnOf(b)) {
     const std::uint32_t med_a = MedOf(a.attributes);
     const std::uint32_t med_b = MedOf(b.attributes);
     if (med_a != med_b) return med_a < med_b;

@@ -24,6 +24,14 @@ struct Candidate {
   PeerId peer = 0;
   IPv4Address peer_router_id;  // final tie-break
   PathAttributes attributes;
+  // Decision-process fast path, filled by the owning Rib from its interned
+  // AS-path table (bgp/intern.h): ladder steps 2 and 4 become integer reads
+  // instead of segment walks. kInvalidAsPathId means "not interned" — the
+  // ladder then recomputes from `attributes`, so hand-built Candidates in
+  // tests keep working unchanged.
+  AsPathId as_path_id = kInvalidAsPathId;
+  std::uint32_t decision_length = 0;
+  Asn first_asn = 0;
 };
 
 // Returns the index of the best candidate, or -1 when `candidates` is empty.

@@ -1,0 +1,66 @@
+#include "bgp/intern.h"
+
+namespace iri::bgp {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * kFnvPrime;
+}
+
+}  // namespace
+
+std::size_t HashAsPath(const AsPath& path) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& seg : path.segments()) {
+    h = Mix(h, static_cast<std::uint64_t>(seg.type));
+    h = Mix(h, seg.asns.size());
+    for (Asn asn : seg.asns) h = Mix(h, asn);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t HashAttributes(const PathAttributes& attrs) {
+  std::uint64_t h = static_cast<std::uint64_t>(HashAsPath(attrs.as_path));
+  h = Mix(h, static_cast<std::uint64_t>(attrs.origin));
+  h = Mix(h, attrs.next_hop.bits());
+  h = Mix(h, attrs.med ? (1ULL << 32) | *attrs.med : 0);
+  h = Mix(h, attrs.local_pref ? (1ULL << 32) | *attrs.local_pref : 0);
+  h = Mix(h, attrs.atomic_aggregate ? 1 : 0);
+  if (attrs.aggregator) {
+    h = Mix(h, attrs.aggregator->asn);
+    h = Mix(h, attrs.aggregator->router_id.bits());
+  }
+  for (Community c : attrs.communities) h = Mix(h, c);
+  return static_cast<std::size_t>(h);
+}
+
+AsPathId AsPathTable::Intern(const AsPath& path) {
+  auto it = lookup_.find(&path);
+  if (it != lookup_.end()) return it->second;
+  IRI_ASSERT(entries_.size() < kInvalidAsPathId, "AsPathTable id space exhausted");
+  const AsPath* canonical = arena_.New<AsPath>(path);
+  const AsPathId id = static_cast<AsPathId>(entries_.size());
+  entries_.push_back(Entry{canonical,
+                           static_cast<std::uint32_t>(canonical->DecisionLength()),
+                           canonical->FirstAsn()});
+  lookup_.emplace(canonical, id);
+  return id;
+}
+
+AttrSetId PathAttributesTable::Intern(const PathAttributes& attrs) {
+  auto it = lookup_.find(&attrs);
+  if (it != lookup_.end()) return it->second;
+  IRI_ASSERT(entries_.size() < kInvalidAttrSetId,
+             "PathAttributesTable id space exhausted");
+  const PathAttributes* canonical = arena_.New<PathAttributes>(attrs);
+  const AttrSetId id = static_cast<AttrSetId>(entries_.size());
+  entries_.push_back(
+      Entry{canonical, canonical->next_hop, paths_.Intern(canonical->as_path)});
+  lookup_.emplace(canonical, id);
+  return id;
+}
+
+}  // namespace iri::bgp

@@ -40,8 +40,14 @@ void EncodeUpdateBody(const UpdateMessage& u, ByteWriter& out) {
   for (const Prefix& p : u.nlri) EncodeNlriPrefix(p, out);
 }
 
-UpdateMessage DecodeUpdateBody(ByteReader& in, std::size_t body_len) {
-  UpdateMessage u;
+// Writes the decoded body into `u`, whose buffers (withdrawn/nlri/
+// communities) keep their capacity — the router's receive path reuses one
+// UpdateMessage across every inbound UPDATE.
+void DecodeUpdateBodyInto(ByteReader& in, std::size_t body_len,
+                          UpdateMessage& u) {
+  u.withdrawn.clear();
+  u.nlri.clear();
+  u.attributes.ResetForDecode();
   const std::size_t end = in.position() + body_len;
 
   const std::uint16_t withdrawn_len = in.U16();
@@ -55,7 +61,7 @@ UpdateMessage DecodeUpdateBody(ByteReader& in, std::size_t body_len) {
 
   const std::uint16_t attrs_len = in.U16();
   if (attrs_len > 0) {
-    u.attributes = DecodeAttributes(in, attrs_len);
+    DecodeAttributesInto(in, attrs_len, u.attributes);
   }
 
   while (in.ok() && in.position() < end) {
@@ -64,6 +70,11 @@ UpdateMessage DecodeUpdateBody(ByteReader& in, std::size_t body_len) {
     }
   }
   if (in.position() != end) in.MarkBad();
+}
+
+UpdateMessage DecodeUpdateBody(ByteReader& in, std::size_t body_len) {
+  UpdateMessage u;
+  DecodeUpdateBodyInto(in, body_len, u);
   return u;
 }
 
@@ -104,6 +115,13 @@ std::optional<Prefix> DecodeNlriPrefix(ByteReader& in) {
 
 std::vector<std::uint8_t> Encode(const Message& msg) {
   ByteWriter out;
+  // One allocation per message instead of a growth cascade: updates get the
+  // packer's size bound, the fixed-shape messages a small constant.
+  if (const auto* u = std::get_if<UpdateMessage>(&msg)) {
+    out.Reserve(EstimateUpdateSize(*u));
+  } else {
+    out.Reserve(kHeaderSize + 16);
+  }
   WriteMarker(out);
   const std::size_t length_at = out.size();
   out.U16(0);
@@ -131,6 +149,20 @@ std::vector<std::uint8_t> Encode(const Message& msg) {
 
   out.PatchU16(length_at, static_cast<std::uint16_t>(out.size()));
   return std::move(out).Take();
+}
+
+bool DecodeUpdateInto(std::span<const std::uint8_t> wire, UpdateMessage& out) {
+  ByteReader in(wire);
+  if (!ReadAndCheckMarker(in)) return false;
+  const std::uint16_t length = in.U16();
+  const std::uint8_t type = in.U8();
+  if (!in.ok() || length < kHeaderSize || length > kMaxMessageSize ||
+      length != wire.size()) {
+    return false;
+  }
+  if (static_cast<MessageType>(type) != MessageType::kUpdate) return false;
+  DecodeUpdateBodyInto(in, length - kHeaderSize, out);
+  return in.ok() && in.remaining() == 0;
 }
 
 std::optional<Message> Decode(std::span<const std::uint8_t> wire) {

@@ -90,6 +90,13 @@ std::vector<std::uint8_t> Encode(const Message& msg);
 // semantic error (bad marker, bad length, truncated body, unknown type).
 std::optional<Message> Decode(std::span<const std::uint8_t> wire);
 
+// Decode-scratch fast path for the dominant wire type: decodes an UPDATE
+// into `out`, reusing its withdrawn/nlri/communities buffers instead of
+// allocating fresh ones per message. Returns false for non-UPDATE messages
+// and for anything Decode() would reject; `out` may then hold partial
+// contents and must not be read. Validation mirrors Decode() exactly.
+bool DecodeUpdateInto(std::span<const std::uint8_t> wire, UpdateMessage& out);
+
 // Prefix <-> NLRI wire helpers, shared with the MRT log codec.
 void EncodeNlriPrefix(const Prefix& p, ByteWriter& out);
 std::optional<Prefix> DecodeNlriPrefix(ByteReader& in);

@@ -47,15 +47,19 @@ void ActionSpec::ApplyTo(Route& route) const {
 }
 
 std::optional<Route> Policy::Apply(const Route& route) const {
+  Route out = route;
+  if (!ApplyInPlace(out)) return std::nullopt;
+  return out;
+}
+
+bool Policy::ApplyInPlace(Route& route) const {
   for (const PolicyRule& rule : rules_) {
     if (!rule.match.Matches(route)) continue;
-    if (rule.action.deny) return std::nullopt;
-    Route out = route;
-    rule.action.ApplyTo(out);
-    return out;
+    if (rule.action.deny) return false;
+    rule.action.ApplyTo(route);
+    return true;
   }
-  if (!default_accept_) return std::nullopt;
-  return route;
+  return default_accept_;
 }
 
 }  // namespace iri::bgp

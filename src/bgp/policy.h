@@ -70,7 +70,17 @@ class Policy {
   // the (possibly rewritten) route.
   std::optional<Route> Apply(const Route& route) const;
 
+  // Copy-free variant for the hot update path: rewrites `route` in place
+  // and returns false when the route is denied (in which case `route` is
+  // unmodified — deny short-circuits before any action runs).
+  bool ApplyInPlace(Route& route) const;
+
   std::size_t size() const { return rules_.size(); }
+
+  // True when the chain can never rewrite or deny a route (AcceptAll with no
+  // rules). Callers use this to skip the per-prefix route copy that
+  // ApplyInPlace would otherwise need.
+  bool IsIdentity() const { return rules_.empty() && default_accept_; }
 
  private:
   explicit Policy(bool default_accept) : default_accept_(default_accept) {}

@@ -8,43 +8,111 @@ void Rib::AddPeer(PeerId peer, IPv4Address router_id) {
   peers_[peer] = router_id;
 }
 
-RibChange Rib::Announce(PeerId peer, const Route& route) {
+RibChange Rib::Announce(PeerId peer, Route route) {
+  return Announce(peer, route.prefix, route.attributes);
+}
+
+RibChange Rib::Announce(PeerId peer, const Prefix& prefix,
+                        const PathAttributes& attrs) {
   obs::ScopedTimer timer(&announce_site_, 1);
   IRI_ASSERT(peers_.contains(peer),
              "Announce from a peer never registered with AddPeer");
-  Entry* entry = table_.Find(route.prefix);
-  if (entry == nullptr) {
-    table_.Insert(route.prefix, Entry{});
-    entry = table_.Find(route.prefix);
+  Entry* entry;
+  if (auto it = index_.find(prefix); it != index_.end()) {
+    entry = it->second;
+  } else {
+    table_.Insert(prefix, Entry{});
+    entry = table_.Find(prefix);
+    index_.emplace(prefix, entry);
   }
-  const std::optional<Candidate> old_best = BestOf(*entry);
+  if (entry->candidates.empty()) ++num_prefixes_;  // fresh entry or tombstone
+  const bool had_best = entry->best >= 0;
+  const PeerId old_best_peer =
+      had_best ? entry->candidates[static_cast<std::size_t>(entry->best)].peer
+               : kLocalPeer;
 
-  Candidate incoming{peer, peers_[peer], route.attributes};
+  // Only the announcing peer's candidate can mutate, so change detection
+  // needs exactly one comparison, made before the overwrite — no deep copy
+  // of the previous best. Re-announcements dominate the update stream, so
+  // the replace path avoids the intern table entirely when the previous
+  // candidate already carries the answer: a byte-equal attribute set keeps
+  // everything, an unchanged AS path keeps the cached id and decision
+  // metadata. Only a genuinely new path pays for hashing.
   bool replaced = false;
+  bool replaced_same_attrs = false;
   for (auto& cand : entry->candidates) {
     if (cand.peer == peer) {  // implicit withdrawal of the previous path
-      cand = std::move(incoming);
+      if (cand.attributes == attrs) {
+        replaced_same_attrs = true;  // byte-equal: nothing to update
+      } else if (cand.attributes.as_path == attrs.as_path) {
+        // Path unchanged: the cached id/decision metadata stay valid.
+        cand.attributes = attrs;
+      } else {
+        const AsPathId path_id = paths_.Intern(attrs.as_path);
+        cand.attributes = attrs;
+        cand.as_path_id = path_id;
+        cand.decision_length = paths_.DecisionLength(path_id);
+        cand.first_asn = paths_.FirstAsn(path_id);
+      }
       replaced = true;
       break;
     }
   }
   if (!replaced) {
-    entry->candidates.push_back(std::move(incoming));
-    peer_prefixes_[peer].insert(route.prefix);
+    const AsPathId path_id = paths_.Intern(attrs.as_path);
+    if (!entry->pool.empty()) {
+      // Revive a parked candidate: its attribute buffers keep their
+      // capacity, so the copy-assign below usually allocates nothing.
+      entry->candidates.push_back(std::move(entry->pool.back()));
+      entry->pool.pop_back();
+    } else {
+      entry->candidates.emplace_back();
+    }
+    Candidate& incoming = entry->candidates.back();
+    incoming.peer = peer;
+    incoming.peer_router_id = peers_[peer];
+    incoming.attributes = attrs;
+    incoming.as_path_id = path_id;
+    incoming.decision_length = paths_.DecisionLength(path_id);
+    incoming.first_asn = paths_.FirstAsn(path_id);
+    peer_prefixes_[peer].insert(prefix);
     ++num_routes_;
   }
-  return Redecide(route.prefix, *entry, old_best);
+
+  entry->best = SelectBest(entry->candidates);
+  IRI_DCHECK(entry->best >= 0 && static_cast<std::size_t>(entry->best) <
+                                     entry->candidates.size(),
+             "decision process must pick a best route from the candidates");
+  const Candidate& new_best =
+      entry->candidates[static_cast<std::size_t>(entry->best)];
+  RibChange change;
+  change.new_best = &new_best;
+  if (!had_best || old_best_peer != new_best.peer) {
+    change.best_changed = true;
+  } else {
+    // Same peer stayed best. If it is the announcing peer its attributes may
+    // have changed (compared above); any other candidate is untouched.
+    change.best_changed = new_best.peer == peer && !replaced_same_attrs;
+  }
+  return change;
 }
 
 RibChange Rib::Withdraw(PeerId peer, const Prefix& prefix) {
   obs::ScopedTimer timer(&withdraw_site_, 1);
-  Entry* entry = table_.Find(prefix);
-  if (entry == nullptr) return {};
-  const std::optional<Candidate> old_best = BestOf(*entry);
+  const auto it = index_.find(prefix);
+  if (it == index_.end()) return {};
+  Entry* entry = it->second;
+  const bool had_best = entry->best >= 0;
+  const PeerId old_best_peer =
+      had_best ? entry->candidates[static_cast<std::size_t>(entry->best)].peer
+               : kLocalPeer;
 
   bool removed = false;
   for (std::size_t i = 0; i < entry->candidates.size(); ++i) {
     if (entry->candidates[i].peer == peer) {
+      // Park the candidate for reuse instead of freeing its buffers: the
+      // erase below only shuffles moved-from shells.
+      entry->pool.push_back(std::move(entry->candidates[i]));
       entry->candidates.erase(entry->candidates.begin() +
                               static_cast<std::ptrdiff_t>(i));
       removed = true;
@@ -59,42 +127,51 @@ RibChange Rib::Withdraw(PeerId peer, const Prefix& prefix) {
   --num_routes_;
 
   if (entry->candidates.empty()) {
-    table_.Erase(prefix);
+    // Tombstone: the entry (and its pooled storage) stays in the trie so
+    // the next announcement of this prefix reuses it wholesale.
+    entry->best = -1;
+    --num_prefixes_;
     RibChange change;
-    change.best_changed = old_best.has_value();
+    change.best_changed = had_best;
     return change;
   }
-  return Redecide(prefix, *entry, old_best);
+  entry->best = SelectBest(entry->candidates);
+  RibChange change;
+  change.new_best = &entry->candidates[static_cast<std::size_t>(entry->best)];
+  // Removing a non-best candidate never changes the best: the decision
+  // ladder is a total order, so the previous maximum still wins.
+  change.best_changed = had_best && old_best_peer == peer;
+  return change;
 }
 
-std::vector<std::pair<Prefix, RibChange>> Rib::ClearPeer(PeerId peer) {
-  std::vector<std::pair<Prefix, RibChange>> changes;
+std::vector<Prefix> Rib::ClearPeer(PeerId peer) {
+  std::vector<Prefix> changed;
   auto it = peer_prefixes_.find(peer);
-  if (it == peer_prefixes_.end()) return changes;
+  if (it == peer_prefixes_.end()) return changed;
   // Copy: Withdraw mutates peer_prefixes_[peer].
   const std::vector<Prefix> prefixes(it->second.begin(), it->second.end());
-  changes.reserve(prefixes.size());
+  changed.reserve(prefixes.size());
   for (const Prefix& p : prefixes) {
-    RibChange c = Withdraw(peer, p);
-    if (c.best_changed) changes.emplace_back(p, std::move(c));
+    if (Withdraw(peer, p).best_changed) changed.push_back(p);
   }
   IRI_DCHECK(PeerRouteCount(peer) == 0,
              "ClearPeer must drop every route learned from the peer");
   IRI_DCHECK(AuditInvariants(), "RIB bookkeeping inconsistent after ClearPeer");
-  return changes;
+  return changed;
 }
 
 const Candidate* Rib::Best(const Prefix& prefix) const {
   obs::ScopedTimer timer(&lookup_site_, 1);
-  const Entry* entry = table_.Find(prefix);
-  if (entry == nullptr || entry->best < 0) return nullptr;
+  const auto it = index_.find(prefix);
+  if (it == index_.end() || it->second->best < 0) return nullptr;
+  const Entry* entry = it->second;
   return &entry->candidates[static_cast<std::size_t>(entry->best)];
 }
 
 std::vector<Candidate> Rib::CandidatesFor(const Prefix& prefix) const {
-  const Entry* entry = table_.Find(prefix);
-  if (entry == nullptr) return {};
-  return entry->candidates;
+  const auto it = index_.find(prefix);
+  if (it == index_.end()) return {};
+  return it->second->candidates;
 }
 
 std::size_t Rib::PeerRouteCount(PeerId peer) const {
@@ -104,12 +181,22 @@ std::size_t Rib::PeerRouteCount(PeerId peer) const {
 
 bool Rib::AuditInvariants() const {
   std::size_t candidate_total = 0;
-  std::size_t malformed_entries = 0;   // empty, or best index out of range
+  std::size_t live_prefixes = 0;
+  std::size_t malformed_entries = 0;   // best index out of range, or a
+                                       // tombstone still claiming a best
   std::size_t duplicate_peer_routes = 0;
   std::size_t unindexed_routes = 0;    // candidate missing from peer_prefixes_
+  std::size_t stale_index_entries = 0; // index_ disagrees with the trie
   table_.Visit([&](const Prefix& prefix, const Entry& e) {
+    const auto idx = index_.find(prefix);
+    if (idx == index_.end() || idx->second != &e) ++stale_index_entries;
     candidate_total += e.candidates.size();
-    if (e.candidates.empty() || e.best < 0 ||
+    if (e.candidates.empty()) {
+      if (e.best != -1) ++malformed_entries;
+      return;  // tombstone: parked storage only, invisible to readers
+    }
+    ++live_prefixes;
+    if (e.best < 0 ||
         static_cast<std::size_t>(e.best) >= e.candidates.size()) {
       ++malformed_entries;
     }
@@ -131,7 +218,11 @@ bool Rib::AuditInvariants() const {
   }
 
   IRI_ASSERT(malformed_entries == 0,
-             "RIB entry with no candidates or best index out of range");
+             "RIB entry best index out of range or tombstone with a best");
+  IRI_ASSERT(live_prefixes == num_prefixes_,
+             "num_prefixes_ disagrees with the table's live entry count");
+  IRI_ASSERT(stale_index_entries == 0 && index_.size() == table_.size(),
+             "exact-match index out of sync with the trie");
   IRI_ASSERT(duplicate_peer_routes == 0,
              "Adj-RIB-In holds two routes from one peer for one prefix");
   IRI_ASSERT(unindexed_routes == 0,
@@ -142,25 +233,8 @@ bool Rib::AuditInvariants() const {
              "num_routes_ disagrees with the per-peer index total");
   return malformed_entries == 0 && duplicate_peer_routes == 0 &&
          unindexed_routes == 0 && candidate_total == num_routes_ &&
-         indexed_total == num_routes_;
-}
-
-RibChange Rib::Redecide(const Prefix& /*prefix*/, Entry& entry,
-                        const std::optional<Candidate>& old_best) {
-  entry.best = SelectBest(entry.candidates);
-  IRI_DCHECK(entry.candidates.empty() ||
-                 (entry.best >= 0 && static_cast<std::size_t>(entry.best) <
-                                         entry.candidates.size()),
-             "decision process must pick a best route from the candidates");
-  RibChange change;
-  change.new_best = BestOf(entry);
-  if (old_best.has_value() != change.new_best.has_value()) {
-    change.best_changed = true;
-  } else if (old_best.has_value()) {
-    change.best_changed = old_best->peer != change.new_best->peer ||
-                          !(old_best->attributes == change.new_best->attributes);
-  }
-  return change;
+         indexed_total == num_routes_ && live_prefixes == num_prefixes_ &&
+         stale_index_entries == 0 && index_.size() == table_.size();
 }
 
 }  // namespace iri::bgp

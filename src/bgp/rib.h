@@ -9,12 +9,12 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "bgp/decision.h"
+#include "bgp/intern.h"
 #include "bgp/route.h"
 #include "netbase/radix_trie.h"
 #include "obs/profile.h"
@@ -26,12 +26,21 @@ struct RibChange {
   // True if the Loc-RIB entry for the prefix changed (new best, different
   // best attributes, or loss of all routes).
   bool best_changed = false;
-  // The new best route, or nullopt if the prefix is now unreachable.
-  std::optional<Candidate> new_best;
+  // The new best route, or nullptr if the prefix is now unreachable. Points
+  // into the RIB's own storage: valid only until the next mutation of this
+  // Rib (the allocation-free replacement for the std::optional<Candidate>
+  // deep copy this used to be — Announce/Withdraw are the hottest calls in
+  // the full-paper-scale run).
+  const Candidate* new_best = nullptr;
 };
 
 class Rib {
  public:
+  // Pre-size the probed-only exact-match index: a border router at paper
+  // scale tracks tens of thousands of prefixes, and the early rehash
+  // cascade shows up in the full-paper profile.
+  Rib() { index_.reserve(1 << 12); }
+
   // Registers a peer before routes from it can be accepted. `router_id` is
   // used for the final decision tie-break.
   void AddPeer(PeerId peer, IPv4Address router_id);
@@ -52,15 +61,24 @@ class Rib {
 
   // Applies an announcement from `peer`. Replaces any previous route from
   // the same peer for the same prefix (implicit withdrawal).
-  RibChange Announce(PeerId peer, const Route& route);
+  RibChange Announce(PeerId peer, Route route);
+
+  // Copy-avoiding variant for the hot update path: callers that hold a
+  // long-lived attribute set (e.g. one decoded UPDATE fanned out over many
+  // NLRI prefixes) pass it by reference and the RIB copy-assigns into
+  // recycled candidate storage — a flapping route that re-announces the
+  // same path shape settles into zero allocations per cycle.
+  RibChange Announce(PeerId peer, const Prefix& prefix,
+                     const PathAttributes& attrs);
 
   // Applies an explicit withdrawal. A withdrawal for a route the peer never
   // announced is a no-op (this is how WWDup pathologies look to a receiver).
   RibChange Withdraw(PeerId peer, const Prefix& prefix);
 
   // Drops every route learned from `peer` (session loss). Returns the
-  // prefixes whose best route changed, with their new state.
-  std::vector<std::pair<Prefix, RibChange>> ClearPeer(PeerId peer);
+  // prefixes whose best route changed; callers re-read Best() for the new
+  // state (every existing caller only needed the prefix list).
+  std::vector<Prefix> ClearPeer(PeerId peer);
 
   // Current best route for `prefix`, or nullptr if unreachable.
   const Candidate* Best(const Prefix& prefix) const;
@@ -69,8 +87,10 @@ class Rib {
   // census and by tests).
   std::vector<Candidate> CandidatesFor(const Prefix& prefix) const;
 
-  // Number of distinct prefixes with at least one path.
-  std::size_t NumPrefixes() const { return table_.size(); }
+  // Number of distinct prefixes with at least one path. (Withdrawn-to-empty
+  // entries linger in the trie as tombstones so a flap cycle reuses their
+  // storage; they are excluded here and skipped by every visitor.)
+  std::size_t NumPrefixes() const { return num_prefixes_; }
 
   // Number of routes (prefix, peer) pairs in all Adj-RIBs-In.
   std::size_t NumRoutes() const { return num_routes_; }
@@ -78,10 +98,15 @@ class Rib {
   // Number of prefixes learned from `peer`.
   std::size_t PeerRouteCount(PeerId peer) const;
 
+  // The hash-consed AS-path table backing the decision fast path. Exposed
+  // for tests and for the full-paper bench's memory report.
+  const AsPathTable& paths() const { return paths_; }
+
   // Full O(routes) structural audit of the Adj-RIB-In bookkeeping:
   // num_routes_ equals both the per-peer index total and the table's
-  // candidate count, every entry is non-empty with a valid best index, and
-  // no entry holds two routes from the same peer. Returns true when
+  // candidate count, num_prefixes_ equals the live entry count, every live
+  // entry has a valid best index (tombstones have none), and no entry holds
+  // two routes from the same peer. Returns true when
   // consistent (and IRI_ASSERTs each clause, so under the default abort
   // policy a false return is unreachable). Called by tests and by debug
   // builds after every ClearPeer.
@@ -100,7 +125,7 @@ class Rib {
   template <typename Fn>
   void VisitPathCounts(Fn&& fn) const {
     table_.Visit([&fn](const Prefix& p, const Entry& e) {
-      fn(p, e.candidates.size());
+      if (!e.candidates.empty()) fn(p, e.candidates.size());
     });
   }
 
@@ -108,22 +133,25 @@ class Rib {
   struct Entry {
     std::vector<Candidate> candidates;
     int best = -1;  // index into candidates, -1 when empty
+    // Withdrawn candidates parked for reuse: their attribute buffers keep
+    // their capacity, so the withdraw→announce flap cycle — the workload's
+    // dominant pattern — recycles storage instead of churning the heap.
+    // Bounded by the number of peers that ever announced the prefix.
+    std::vector<Candidate> pool;
   };
 
-  // Re-runs the decision process on an entry; returns the change summary
-  // comparing against `old_best`.
-  RibChange Redecide(const Prefix& prefix, Entry& entry,
-                     const std::optional<Candidate>& old_best);
-
-  std::optional<Candidate> BestOf(const Entry& e) const {
-    if (e.best < 0) return std::nullopt;
-    return e.candidates[static_cast<std::size_t>(e.best)];
-  }
-
   RadixTrie<Entry> table_;
+  // Exact-match accelerator over the trie: one hash probe instead of a
+  // length()-deep pointer chase, on every Announce/Withdraw/Best. Entry
+  // pointers are stable because entries are never erased (tombstones), and
+  // the map is only ever probed — never iterated — so its bucket order
+  // cannot reach any output. Address-order visitation stays on the trie.
+  std::unordered_map<Prefix, Entry*> index_;
   std::unordered_map<PeerId, IPv4Address> peers_;
   std::unordered_map<PeerId, std::unordered_set<Prefix>> peer_prefixes_;
+  AsPathTable paths_;
   std::size_t num_routes_ = 0;
+  std::size_t num_prefixes_ = 0;  // live (non-tombstone) entries
   obs::ProfileSite announce_site_;
   obs::ProfileSite withdraw_site_;
   obs::ProfileSite lookup_site_;

@@ -46,14 +46,14 @@ std::vector<UpdateMessage> PackUpdates(std::span<const RouteOp> ops) {
 
 void OutboundQueue::Enqueue(TimePoint now, RouteOp op) {
   if (pending_.empty()) deadline_ = ComputeDeadline(now);
-  auto [it, inserted] =
-      pending_.try_emplace(op.prefix, next_seq_, op);
+  auto [it, inserted] = index_.try_emplace(
+      op.prefix, static_cast<std::uint32_t>(pending_.size()));
   if (inserted) {
-    ++next_seq_;
+    pending_.push_back(std::move(op));
   } else {
     // Latest wins, keeping the original order slot; an announcement that
     // supersedes a queued withdrawal remembers it (see RouteOp).
-    RouteOp& prior = it->second.second;
+    RouteOp& prior = pending_[it->second];
     if (!op.IsWithdraw() &&
         (prior.IsWithdraw() || prior.withdraw_preceded)) {
       op.withdraw_preceded = true;
@@ -77,16 +77,10 @@ TimePoint OutboundQueue::ComputeDeadline(TimePoint now) {
 
 std::vector<RouteOp> OutboundQueue::Flush(TimePoint now) {
   if (pending_.empty() || now < deadline_) return {};
-  std::vector<std::pair<std::uint64_t, RouteOp>> ordered;
-  ordered.reserve(pending_.size());
-  for (auto& [prefix, seq_op] : pending_) ordered.push_back(std::move(seq_op));
-  pending_.clear();
   deadline_ = TimePoint::Max();
-  std::sort(ordered.begin(), ordered.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  index_.clear();
   std::vector<RouteOp> ops;
-  ops.reserve(ordered.size());
-  for (auto& [seq, op] : ordered) ops.push_back(std::move(op));
+  ops.swap(pending_);  // already in first-enqueue order
   return ops;
 }
 

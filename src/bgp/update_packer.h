@@ -14,9 +14,9 @@
 //    change, per the route-dampening draft's recommendation.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "bgp/message.h"
@@ -83,9 +83,13 @@ class OutboundQueue {
 
   PackerConfig config_;
   Rng rng_;
-  // prefix -> (sequence number, op); sequence preserves enqueue order.
-  std::map<Prefix, std::pair<std::uint64_t, RouteOp>> pending_;
-  std::uint64_t next_seq_ = 0;
+  // Net ops in first-enqueue order: latest-wins updates overwrite their
+  // original slot, so the vector is already flush-ordered — no sequence
+  // numbers, no sort, no per-op tree node. index_ dedups by prefix and is
+  // probed only (try_emplace/clear; never iterated), so its bucket order
+  // cannot reach any output.
+  std::vector<RouteOp> pending_;
+  std::unordered_map<Prefix, std::uint32_t> index_;
   TimePoint deadline_ = TimePoint::Max();
 };
 

@@ -1,0 +1,177 @@
+// Bump/arena allocation for scenario-lifetime and day-scoped objects.
+//
+// The full-paper-scale path (bench/full_paper.cc: 42k prefixes, millions of
+// prefix updates per simulated day) is allocation-bound before it is
+// CPU-bound: every update used to buy several malloc/free round trips for
+// path-attribute copies.  The arena converts those into pointer bumps over
+// a small list of large blocks, with two lifetime disciplines:
+//
+//   * scenario-lifetime: hash-consed objects (the interned AS-path and
+//     attribute tables in bgp/intern.h) live until the owning table dies —
+//     append-only, never freed individually, the textbook arena workload;
+//   * day-scoped scratch: ExchangeScenario keeps a scratch arena for
+//     per-day transient buffers and calls Reset() at each midnight
+//     rollover, so a nine-month run's scratch footprint stays bounded by
+//     its busiest single day.
+//
+// Determinism: the arena never consults the wall clock and has no
+// iteration order of its own — Reset()/destruction walk the cleanup list
+// in strict reverse registration order (LIFO, like stack unwinding).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/invariants.h"
+
+namespace iri::core {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() { RunCleanups(); }
+
+  // Raw storage, aligned to `align` (which must be a power of two and no
+  // larger than alignof(std::max_align_t)). Oversized requests get a
+  // dedicated block so a single huge object cannot strand a whole block.
+  void* Allocate(std::size_t bytes, std::size_t align) {
+    IRI_ASSERT((align & (align - 1)) == 0, "arena alignment must be a power of two");
+    IRI_ASSERT(align <= alignof(std::max_align_t),
+               "arena cannot serve over-aligned types");
+    if (bytes == 0) bytes = 1;
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    if (p + bytes > limit_) {
+      AddBlock(bytes, align);
+      p = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Constructs a T in the arena. Trivially destructible types cost one
+  // bump; everything else registers its destructor on a cleanup list that
+  // Reset() and the arena destructor run in reverse registration order.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    T* obj = ::new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      cleanups_.push_back(Cleanup{
+          obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return obj;
+  }
+
+  // Destroys every arena object (reverse order), then recycles the largest
+  // block so a steady-state day reallocates nothing. All pointers handed
+  // out before Reset() are invalidated.
+  void Reset() {
+    RunCleanups();
+    if (!blocks_.empty()) {
+      // Keep the biggest block hot; return the rest to the heap.
+      std::size_t biggest = 0;
+      for (std::size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[biggest].size) biggest = i;
+      }
+      Block keep = std::move(blocks_[biggest]);
+      blocks_.clear();
+      cursor_ = reinterpret_cast<std::uintptr_t>(keep.data.get());
+      limit_ = cursor_ + keep.size;
+      blocks_.push_back(std::move(keep));
+    }
+    bytes_allocated_ = 0;
+  }
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  std::size_t num_cleanups() const { return cleanups_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+  struct Cleanup {
+    void* object;
+    void (*destroy)(void*);
+  };
+
+  void AddBlock(std::size_t min_bytes, std::size_t align) {
+    // Geometric growth, capped: big enough to amortize, small enough that
+    // Reset()'s retained block is not a liability.
+    std::size_t size = block_bytes_;
+    if (!blocks_.empty()) size = blocks_.back().size * 2;
+    if (size > kMaxBlockBytes) size = kMaxBlockBytes;
+    if (size < min_bytes + align) size = min_bytes + align;
+    Block block{std::make_unique<std::byte[]>(size), size};
+    cursor_ = reinterpret_cast<std::uintptr_t>(block.data.get());
+    limit_ = cursor_ + size;
+    blocks_.push_back(std::move(block));
+  }
+
+  void RunCleanups() {
+    for (auto it = cleanups_.rbegin(); it != cleanups_.rend(); ++it) {
+      it->destroy(it->object);
+    }
+    cleanups_.clear();
+  }
+
+  static constexpr std::size_t kMaxBlockBytes = 4 * 1024 * 1024;
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::vector<Cleanup> cleanups_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t bytes_allocated_ = 0;
+};
+
+// std-allocator adapter over an Arena, for containers with day-scoped or
+// scenario-scoped lifetime (e.g. ExchangeScenario's withdrawal-spray sample
+// buffers). deallocate() is a no-op — storage is reclaimed wholesale by
+// Arena::Reset() — so container churn inside one day costs bumps only.
+// The container must not outlive the arena or survive its Reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace iri::core

@@ -29,13 +29,18 @@ const char* ToString(Category c) {
   return "?";
 }
 
-ClassifiedEvent Classifier::Classify(const UpdateEvent& ev) {
+ClassifiedEvent Classifier::Classify(UpdateEvent ev) {
   ClassifiedEvent out;
-  out.event = ev;
+  ClassifyInto(ev, out);
+  return out;
+}
 
+void Classifier::ClassifyInto(const UpdateEvent& ev, ClassifiedEvent& out) {
   auto [it, fresh] = state_.try_emplace(ev.Key());
   RouteState& st = it->second;
+  if (fresh) st.last_attr_id = default_attr_id_;
 
+  out.policy_fluctuation = false;
   if (ev.is_withdraw) {
     if (fresh || st.status == RouteStatus::kWithdrawn) {
       // Withdrawal of a route that is not announced (or never was):
@@ -44,28 +49,49 @@ ClassifiedEvent Classifier::Classify(const UpdateEvent& ev) {
     } else {
       out.category = Category::kWithdraw;
       st.status = RouteStatus::kWithdrawn;
-      // last_attributes intentionally retained for WADup detection.
+      // last_attr_id intentionally retained for WADup detection.
     }
   } else {
+    // Hash-cons once, then every comparison against the remembered route is
+    // on ids: equal id = byte-equal attribute set, equal forwarding half =
+    // the paper's forwarding tuple matches. Exact repeats of the remembered
+    // route (the AADup/WADup bulk of the measured stream) short-circuit on a
+    // deep compare against the interned copy — no hashing, no table probe —
+    // and so does the A↔B oscillation case via the one-step-back memo.
+    // Both memo hits return the id Intern would have found, so the id
+    // stream (and with it every digest) is unchanged.
+    bgp::AttrSetId attr_id;
+    if (attrs_.Get(st.last_attr_id) == ev.attributes) {
+      attr_id = st.last_attr_id;
+    } else if (st.prev_attr_id != bgp::kInvalidAttrSetId &&
+               attrs_.Get(st.prev_attr_id) == ev.attributes) {
+      attr_id = st.prev_attr_id;
+    } else {
+      attr_id = attrs_.Intern(ev.attributes);
+    }
     if (fresh) {
       out.category = Category::kInitial;
     } else if (st.status == RouteStatus::kAnnounced) {
-      if (st.last_attributes.ForwardingEquivalent(ev.attributes)) {
+      if (attrs_.ForwardingEquivalent(st.last_attr_id, attr_id)) {
         out.category = Category::kAADup;
-        out.policy_fluctuation = !(st.last_attributes == ev.attributes);
+        out.policy_fluctuation = st.last_attr_id != attr_id;
       } else {
         out.category = Category::kAADiff;
       }
     } else {  // previously withdrawn, now re-announced
-      if (st.last_attributes.ForwardingEquivalent(ev.attributes)) {
+      if (attrs_.ForwardingEquivalent(st.last_attr_id, attr_id)) {
         out.category = Category::kWADup;
       } else {
         out.category = Category::kWADiff;
       }
     }
     st.status = RouteStatus::kAnnounced;
-    st.last_attributes = ev.attributes;
+    if (attr_id != st.last_attr_id) {
+      st.prev_attr_id = st.last_attr_id;
+      st.last_attr_id = attr_id;
+    }
   }
+  out.event = ev;  // copy-assign: out's buffers keep their capacity
 
   IRI_ASSERT(static_cast<std::size_t>(out.category) < kNumCategories,
              "classifier produced an out-of-range category");
@@ -76,7 +102,6 @@ ClassifiedEvent Classifier::Classify(const UpdateEvent& ev) {
   IRI_DCHECK(std::accumulate(totals_.begin(), totals_.end(),
                              std::uint64_t{0}) == events_,
              "category counts must conserve total events");
-  return out;
 }
 
 }  // namespace iri::core

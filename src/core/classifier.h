@@ -28,6 +28,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "bgp/intern.h"
 #include "core/event.h"
 
 namespace iri::core {
@@ -67,8 +68,20 @@ struct ClassifiedEvent {
 
 class Classifier {
  public:
+  Classifier() : default_attr_id_(attrs_.Intern(bgp::PathAttributes{})) {
+    // Probed-only map (try_emplace/clear; never iterated, so bucket order is
+    // inert). Pre-sizing skips the early rehash cascade — at paper scale the
+    // table grows to (42 k prefixes × peers) entries within the first hour.
+    state_.reserve(1 << 12);
+  }
+
   // Classifies `ev` against the per-route state and updates that state.
-  ClassifiedEvent Classify(const UpdateEvent& ev);
+  ClassifiedEvent Classify(UpdateEvent ev);
+
+  // Recycling variant for the monitor's hot loop: writes into `out`
+  // (copy-assigning the event, so out's attribute buffers keep their
+  // capacity across calls) instead of building a fresh ClassifiedEvent.
+  void ClassifyInto(const UpdateEvent& ev, ClassifiedEvent& out);
 
   // Number of (Prefix, peer) routes with live state.
   std::size_t TrackedRoutes() const { return state_.size(); }
@@ -87,19 +100,42 @@ class Classifier {
     state_.clear();
     totals_.fill(0);
     events_ = 0;
+    // attrs_ is deliberately retained: it is a pure value cache (ids are
+    // only compared against ids from the same table), and the same streams
+    // tend to recur across resets.
   }
+
+  // The hash-consed attribute-set table backing the per-route state.
+  // Exposed for tests and the full-paper bench's memory report.
+  const bgp::PathAttributesTable& attrs() const { return attrs_; }
 
  private:
   enum class RouteStatus : std::uint8_t { kAnnounced, kWithdrawn };
 
   struct RouteState {
     RouteStatus status = RouteStatus::kWithdrawn;
-    // Last announced attributes (survives withdrawal: WADup needs to compare
-    // a re-announcement against the route that was withdrawn).
-    bgp::PathAttributes last_attributes;
+    // Last announced attributes, interned (survives withdrawal: WADup needs
+    // to compare a re-announcement against the route that was withdrawn).
+    // Interning shrinks this per-(Prefix, peer) state from a full attribute
+    // set to one id — at paper scale that is 42 k prefixes × peers entries —
+    // and makes the AADup exact-duplicate test a single integer compare.
+    bgp::AttrSetId last_attr_id = bgp::kInvalidAttrSetId;
+    // The attribute set announced before last_attr_id. Routes mostly flap
+    // between two states (A↔B oscillation is the paper's signature
+    // instability), so remembering one step further back lets the classifier
+    // resolve the "differs from last" case with a deep compare against the
+    // interned copy instead of a hash + probe of the intern table. Pure
+    // memoization: the id returned is the one Intern would have found.
+    bgp::AttrSetId prev_attr_id = bgp::kInvalidAttrSetId;
   };
 
   std::unordered_map<bgp::PrefixPeer, RouteState> state_;
+  bgp::PathAttributesTable attrs_;
+  // Fresh state remembers the default-constructed attribute set, mirroring
+  // the pre-interning behaviour where RouteState held a default
+  // PathAttributes (a WWDup-created route later compared its re-announcement
+  // against exactly that).
+  bgp::AttrSetId default_attr_id_;
   std::array<std::uint64_t, kNumCategories> totals_{};
   std::uint64_t events_ = 0;
 };

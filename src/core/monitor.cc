@@ -58,15 +58,17 @@ void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
                      static_cast<std::uint16_t>(local_asn_), update);
     if (mrt_records_metric_ != nullptr) mrt_records_metric_->Add(1);
   }
-  scratch_.clear();
-  ExplodeUpdate(now, peer, peer_asn, update, scratch_);
-  timer.AddItems(scratch_.size());
+  const std::size_t n =
+      ExplodeUpdateReuse(now, peer, peer_asn, update, scratch_);
+  timer.AddItems(n);
   if (events_per_msg_series_ != nullptr) {
-    events_per_msg_series_->Observe(
-        static_cast<std::int64_t>(scratch_.size()));
+    events_per_msg_series_->Observe(static_cast<std::int64_t>(n));
   }
-  for (const UpdateEvent& ev : scratch_) {
-    const ClassifiedEvent classified = classifier_.Classify(ev);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Both scratch buffers recycle their attribute storage: the explode →
+    // classify pipeline is allocation-free in the steady state.
+    classifier_.ClassifyInto(scratch_[i], classified_scratch_);
+    const ClassifiedEvent& classified = classified_scratch_;
     ++events_seen_;
     if (events_metric_ != nullptr) {
       events_metric_->Add(1);
@@ -77,7 +79,9 @@ void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
       if (classified.category == Category::kWWDup) wwdup_series_->Add(1);
       if (classified.category == Category::kAADup) aadup_series_->Add(1);
     }
-    if (health_ != nullptr) health_->ObservePeerEvent(now, ev.peer);
+    if (health_ != nullptr) {
+      health_->ObservePeerEvent(now, classified.event.peer);
+    }
     for (const Sink& sink : sinks_) sink(classified);
   }
 }

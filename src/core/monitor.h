@@ -76,7 +76,8 @@ class ExchangeMonitor {
   bgp::Asn local_asn_ = 0;
   std::uint64_t events_seen_ = 0;
   std::uint64_t messages_seen_ = 0;
-  std::vector<UpdateEvent> scratch_;
+  std::vector<UpdateEvent> scratch_;  // recycled by ExplodeUpdateReuse
+  ClassifiedEvent classified_scratch_;  // recycled by ClassifyInto
   obs::Counter* messages_metric_ = nullptr;
   obs::Counter* events_metric_ = nullptr;
   obs::Counter* mrt_records_metric_ = nullptr;

@@ -19,6 +19,10 @@ namespace iri {
 // buffer.
 class ByteWriter {
  public:
+  // Pre-size the buffer when the caller can bound the message size —
+  // without it a typical BGP UPDATE grows through 3-4 reallocations.
+  void Reserve(std::size_t n) { buf_.reserve(n); }
+
   void U8(std::uint8_t v) { buf_.push_back(v); }
   void U16(std::uint16_t v) {
     buf_.push_back(static_cast<std::uint8_t>(v >> 8));

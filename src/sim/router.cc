@@ -90,10 +90,13 @@ void Router::Originate(const bgp::Route& route) {
     suppressed = verdict != bgp::DampVerdict::kPass;
   }
   local_routes_[route.prefix] = route;
-  bgp::Route local = route;
-  // Local routes win the decision against any learned path.
-  local.attributes.local_pref = 1000;
-  const bgp::RibChange change = rib_.Announce(bgp::kLocalPeer, local);
+  // Local routes win the decision against any learned path. The scratch
+  // member keeps its buffer capacity across the scenario's hundreds of
+  // thousands of Originate calls.
+  originate_scratch_ = route.attributes;
+  originate_scratch_.local_pref = 1000;
+  const bgp::RibChange change =
+      rib_.Announce(bgp::kLocalPeer, route.prefix, originate_scratch_);
   if (suppressed) {
     ++stats_.damped_updates;
     if (metrics_.damped_updates) metrics_.damped_updates->Add(1);
@@ -192,12 +195,28 @@ void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) {
   ++stats_.messages_rx;
   if (metrics_.messages_rx) metrics_.messages_rx->Add(1);
 
+  // UPDATEs — the dominant wire type — decode into the router's scratch
+  // message, reusing its buffers; everything else takes the allocating
+  // Decode. The type byte sits at the fixed header offset, so routing on it
+  // before decoding is exact, and DecodeUpdateInto applies the same
+  // validation Decode would.
+  const bool wire_is_update =
+      bytes.size() >= bgp::kHeaderSize &&
+      bytes[bgp::kHeaderSize - 1] ==
+          static_cast<std::uint8_t>(bgp::MessageType::kUpdate);
+  const bgp::UpdateMessage* update = nullptr;
   std::optional<bgp::Message> msg;
   {
     obs::ScopedTimer timer(&decode_site_, bytes.size());
-    msg = bgp::Decode(bytes);
+    if (wire_is_update) {
+      if (bgp::DecodeUpdateInto(bytes, decode_scratch_)) {
+        update = &decode_scratch_;
+      }
+    } else {
+      msg = bgp::Decode(bytes);
+    }
   }
-  if (!msg) {
+  if (update == nullptr && !msg) {
     ++stats_.decode_failures;
     if (metrics_.decode_failures) metrics_.decode_failures->Add(1);
     return;
@@ -205,9 +224,10 @@ void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) {
 
   // Charge the CPU for receive processing.
   Duration cost = config_.cost_per_message;
-  if (const auto* u = std::get_if<bgp::UpdateMessage>(&*msg)) {
-    cost += config_.cost_per_prefix * static_cast<double>(u->withdrawn.size() +
-                                                          u->nlri.size());
+  if (update != nullptr) {
+    cost += config_.cost_per_prefix *
+            static_cast<double>(update->withdrawn.size() +
+                                update->nlri.size());
   }
   ChargeCpu(cost);
   if (crashed_) return;  // the crash may have been triggered by this load
@@ -215,17 +235,24 @@ void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) {
   const bool was_established =
       p.fsm.state() == bgp::SessionState::kEstablished;
   bgp::SessionFsm::Actions actions;
-  p.fsm.OnMessage(sched_.Now(), *msg, actions);
+  if (update != nullptr) {
+    // The FSM dispatches on the message's *type* only (an UPDATE's payload
+    // never reaches it — established sessions just refresh the hold timer,
+    // other states tear down or ignore), so a payload-free stand-in drives
+    // it identically without copying the scratch into a variant.
+    const bgp::Message update_stand_in{bgp::UpdateMessage{}};
+    p.fsm.OnMessage(sched_.Now(), update_stand_in, actions);
+  } else {
+    p.fsm.OnMessage(sched_.Now(), *msg, actions);
+  }
   HandleFsmActions(peer, actions);
   ScheduleFsmTimer(peer);
 
-  if (was_established && p.established) {
-    if (const auto* u = std::get_if<bgp::UpdateMessage>(&*msg)) {
-      ++stats_.updates_rx;
-      if (metrics_.updates_rx) metrics_.updates_rx->Add(1);
-      if (tap_) tap_(sched_.Now(), peer, p.remote_asn, *u);
-      ProcessUpdate(peer, *u);
-    }
+  if (was_established && p.established && update != nullptr) {
+    ++stats_.updates_rx;
+    if (metrics_.updates_rx) metrics_.updates_rx->Add(1);
+    if (tap_) tap_(sched_.Now(), peer, p.remote_asn, *update);
+    ProcessUpdate(peer, *update);
   }
 }
 
@@ -296,8 +323,7 @@ void Router::OnSessionDown(bgp::PeerId id) {
   Peer& p = peers_[id];
   p.adj_rib_out.clear();
   // Everything learned from this peer is gone: a genuine topology change.
-  auto changes = rib_.ClearPeer(id);
-  for (const auto& [prefix, change] : changes) {
+  for (const Prefix& prefix : rib_.ClearPeer(id)) {
     if (config_.stateless_bgp && rib_.Best(prefix) == nullptr) {
       BroadcastWithdraw(prefix);
     }
@@ -339,6 +365,20 @@ void Router::SendMessage(bgp::PeerId id, const bgp::Message& msg,
 
 // ------------------------------------------------------------ update path
 
+bool Router::DampenAnnounce(bgp::PeerId from, const Prefix& nlri,
+                            const bgp::PathAttributes& attrs) {
+  const auto* existing = rib_.Best(nlri);
+  const bool attr_change =
+      existing != nullptr && existing->peer == from &&
+      !existing->attributes.ForwardingEquivalent(attrs);
+  const auto verdict =
+      dampener_.OnAnnounce({nlri, from}, sched_.Now(), attr_change);
+  if (verdict == bgp::DampVerdict::kPass) return false;
+  ++stats_.damped_updates;
+  if (metrics_.damped_updates) metrics_.damped_updates->Add(1);
+  return true;
+}
+
 void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update) {
   Peer& p = peers_[from];
   std::vector<Prefix> changed;
@@ -357,37 +397,41 @@ void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update) {
     if (change.best_changed) changed.push_back(w);
   }
 
+  // An identity import policy (the common case) lets every NLRI prefix of
+  // the message share the decoded attribute set directly: no per-prefix
+  // Route copy, and the RIB copy-assigns into recycled candidate storage.
+  const bool identity_import = p.import_policy.IsIdentity();
   for (const Prefix& nlri : update.nlri) {
     ++stats_.prefixes_announced_rx;
-    bgp::Route route{nlri, update.attributes};
-    if (route.attributes.as_path.Contains(config_.asn)) {
+    if (update.attributes.as_path.Contains(config_.asn)) {
       ++stats_.loops_rejected;
       continue;
     }
-    auto imported = p.import_policy.Apply(route);
-    if (!imported) {
-      // Denied by policy: make sure no earlier route from this peer lingers.
-      const bgp::RibChange change = rib_.Withdraw(from, nlri);
-      if (change.best_changed) changed.push_back(nlri);
-      continue;
-    }
-    if (config_.enable_dampening) {
-      const auto* existing = rib_.Best(nlri);
-      const bool attr_change =
-          existing != nullptr && existing->peer == from &&
-          !existing->attributes.ForwardingEquivalent(imported->attributes);
-      const auto verdict =
-          dampener_.OnAnnounce({nlri, from}, sched_.Now(), attr_change);
-      if (verdict != bgp::DampVerdict::kPass) {
-        ++stats_.damped_updates;
-        if (metrics_.damped_updates) metrics_.damped_updates->Add(1);
-        // Suppressed: the route is held down and not installed.
+    if (!identity_import) {
+      bgp::Route route{nlri, update.attributes};
+      if (!p.import_policy.ApplyInPlace(route)) {
+        // Denied by policy: make sure no earlier route from this peer
+        // lingers.
         const bgp::RibChange change = rib_.Withdraw(from, nlri);
         if (change.best_changed) changed.push_back(nlri);
         continue;
       }
+      if (config_.enable_dampening &&
+          DampenAnnounce(from, nlri, route.attributes)) {
+        if (rib_.Withdraw(from, nlri).best_changed) changed.push_back(nlri);
+        continue;
+      }
+      const bgp::RibChange change = rib_.Announce(from, std::move(route));
+      if (change.best_changed) changed.push_back(nlri);
+      continue;
     }
-    const bgp::RibChange change = rib_.Announce(from, *imported);
+    if (config_.enable_dampening &&
+        DampenAnnounce(from, nlri, update.attributes)) {
+      if (rib_.Withdraw(from, nlri).best_changed) changed.push_back(nlri);
+      continue;
+    }
+    const bgp::RibChange change =
+        rib_.Announce(from, nlri, update.attributes);
     if (change.best_changed) changed.push_back(nlri);
   }
 
@@ -396,10 +440,13 @@ void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update) {
 
 void Router::PropagateChange(const Prefix& prefix) {
   if (config_.no_reexport) return;
+  // One Best() lookup for the whole peer fan-out.
+  const bgp::Candidate* best = rib_.Best(prefix);
   for (bgp::PeerId id = 0; id < peers_.size(); ++id) {
     Peer& p = peers_[id];
     if (!p.established) continue;
-    auto exported = ExportRoute(p, prefix);
+    std::optional<bgp::PathAttributes> exported;
+    if (best != nullptr) exported = ExportCandidate(p, prefix, *best);
     if (exported) {
       EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported)});
     } else {
@@ -419,24 +466,27 @@ std::optional<bgp::PathAttributes> Router::ExportRoute(
     const Peer& peer, const Prefix& prefix) const {
   const bgp::Candidate* best = rib_.Best(prefix);
   if (best == nullptr) return std::nullopt;
+  return ExportCandidate(peer, prefix, *best);
+}
+
+std::optional<bgp::PathAttributes> Router::ExportCandidate(
+    const Peer& peer, const Prefix& prefix, const bgp::Candidate& best) const {
   // Split horizon: never hand a route back to the peer it came from.
-  if (best->peer != bgp::kLocalPeer &&
-      &peer == &peers_[best->peer]) {
+  if (best.peer != bgp::kLocalPeer && &peer == &peers_[best.peer]) {
     return std::nullopt;
   }
   // Sender-side loop avoidance: the receiver would reject it anyway.
-  if (best->attributes.as_path.Contains(peer.remote_asn)) return std::nullopt;
+  if (best.attributes.as_path.Contains(peer.remote_asn)) return std::nullopt;
 
-  bgp::Route route{prefix, best->attributes};
-  auto out = peer.export_policy.Apply(route);
-  if (!out) return std::nullopt;
+  bgp::Route route{prefix, best.attributes};
+  if (!peer.export_policy.ApplyInPlace(route)) return std::nullopt;
   if (!config_.transparent) {
-    out->attributes.as_path.Prepend(config_.asn);
-    out->attributes.next_hop = config_.interface_addr;
+    route.attributes.as_path.Prepend(config_.asn);
+    route.attributes.next_hop = config_.interface_addr;
   }
   // LOCAL_PREF is iBGP-only; all peerings here are external.
-  out->attributes.local_pref.reset();
-  return std::move(out->attributes);
+  route.attributes.local_pref.reset();
+  return std::move(route.attributes);
 }
 
 void Router::EnqueueOp(bgp::PeerId id, bgp::RouteOp op) {
@@ -496,23 +546,20 @@ void Router::FlushPeer(bgp::PeerId id) {
 void Router::FullDump(bgp::PeerId id) {
   if (config_.no_reexport) return;
   // A fresh session receives the entire Loc-RIB ("large state dump
-  // transmissions" when a flapping session re-establishes).
-  std::vector<Prefix> prefixes;
-  prefixes.reserve(rib_.NumPrefixes());
-  rib_.VisitBest([&prefixes](const Prefix& p, const bgp::Candidate&) {
-    prefixes.push_back(p);
-  });
+  // transmissions" when a flapping session re-establishes). Batched walk:
+  // the trie visit hands us each best candidate directly, replacing the
+  // collect-then-lookup pass that searched the trie twice per prefix.
   IRI_TRACE(tracer_, sched_.Now(), "redump_start",
-            .Str("session", PeerLabel(id)).U64("prefixes", prefixes.size()));
+            .Str("session", PeerLabel(id)).U64("prefixes", rib_.NumPrefixes()));
   Peer& p = peers_[id];
   std::uint64_t exported_count = 0;
-  for (const Prefix& prefix : prefixes) {
-    auto exported = ExportRoute(p, prefix);
+  rib_.VisitBest([&](const Prefix& prefix, const bgp::Candidate& best) {
+    auto exported = ExportCandidate(p, prefix, best);
     if (exported) {
       ++exported_count;
       EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported)});
     }
-  }
+  });
   IRI_TRACE(tracer_, sched_.Now(), "redump_end",
             .Str("session", PeerLabel(id)).U64("exported", exported_count));
 }

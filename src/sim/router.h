@@ -195,6 +195,9 @@ class Router : public LinkEndpoint {
 
   // --- update processing ---
   void ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update);
+  // Charges the dampener for an announcement; true means "suppress it".
+  bool DampenAnnounce(bgp::PeerId from, const Prefix& nlri,
+                      const bgp::PathAttributes& attrs);
   // Re-exports the new state of `prefix` to every eligible peer.
   void PropagateChange(const Prefix& prefix);
   // Stateless pathology: spray a withdrawal at every established peer,
@@ -204,6 +207,11 @@ class Router : public LinkEndpoint {
   // it must not be announced (split horizon, loop, policy deny).
   std::optional<bgp::PathAttributes> ExportRoute(const Peer& peer,
                                                  const Prefix& prefix) const;
+  // Same, given the already-looked-up best candidate — the batched RIB-walk
+  // paths (FullDump's Loc-RIB sweep, PropagateChange's per-peer fan-out)
+  // resolve Best() once instead of once per peer.
+  std::optional<bgp::PathAttributes> ExportCandidate(
+      const Peer& peer, const Prefix& prefix, const bgp::Candidate& best) const;
   void EnqueueOp(bgp::PeerId id, bgp::RouteOp op);
   void FlushPeer(bgp::PeerId id);
   void FullDump(bgp::PeerId id);
@@ -224,6 +232,12 @@ class Router : public LinkEndpoint {
   bgp::Dampener dampener_;
   std::vector<Peer> peers_;
   std::unordered_map<Prefix, bgp::Route> local_routes_;
+  bgp::PathAttributes originate_scratch_;  // reused by Originate (hot path)
+  // Receive-path decode scratch: every inbound UPDATE decodes into this one
+  // message, so its prefix/community buffers are allocated once per router
+  // instead of once per message. Safe because delivery is scheduler-driven
+  // (OnWireData never re-enters while an update is being processed).
+  bgp::UpdateMessage decode_scratch_;
   TimePoint busy_until_;
   bool crashed_ = false;
   Stats stats_;

@@ -30,6 +30,11 @@ ExchangeScenario::ExchangeScenario(ScenarioConfig config,
   Build();
   Bootstrap();
   ScheduleProcesses();
+  // Day-scoped scratch discipline: everything carved from day_arena_ is
+  // transient within a single scheduler task, so resetting between days
+  // (after the day's hooks, before the next day's events) is safe and keeps
+  // the arena's footprint bounded by the busiest day.
+  ScheduleDaily([this](int) { day_arena_.Reset(); });
 }
 
 void ExchangeScenario::Build() {
@@ -763,7 +768,7 @@ void ExchangeScenario::InternalResetBeat(int provider, int beats_left) {
   // is fixed per provider; each beat disturbs most of it.
   const auto& leak = foreign_leak_sets_[static_cast<std::size_t>(provider)];
   if (!leak.empty()) {
-    std::vector<Prefix> sample;
+    SprayBuffer sample{core::ArenaAllocator<Prefix>(&day_arena_)};
     sample.reserve(leak.size());
     const double fraction = 0.6 + 0.4 * rng_.Uniform();
     for (const Prefix& prefix : leak) {
@@ -816,7 +821,7 @@ void ExchangeScenario::PathoSpray() {
   // A fraction of the learned table is lost and re-learned; withdrawals for
   // all of it spray out through the stateless border router(s).
   const double fraction = 0.3 + 0.7 * rng_.Uniform();
-  std::vector<Prefix> prefixes;
+  SprayBuffer prefixes{core::ArenaAllocator<Prefix>(&day_arena_)};
   prefixes.reserve(static_cast<std::size_t>(
       static_cast<double>(patho_table_.size()) * fraction) + 1);
   for (int ci : patho_table_) {

@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/monitor.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -207,6 +208,10 @@ class ExchangeScenario {
   // The scale factor versus the paper's full universe, for report headers.
   double Scale() const { return universe_.config.scale; }
 
+  // Day-scoped scratch arena (reset at each midnight rollover); exposed so
+  // tests can check the reuse discipline.
+  const core::Arena& day_arena() const { return day_arena_; }
+
  private:
   struct CustomerState {
     bool line_up = true;
@@ -311,6 +316,14 @@ class ExchangeScenario {
   double saturday_boost_ = 1.0;    // active spike multiplier
   TimePoint saturday_boost_end_;
   std::vector<std::function<void(int)>> daily_hooks_;
+  // Day-scoped scratch arena for transient event buffers (withdrawal-spray
+  // samples). A daily hook registered in the constructor Reset()s it at
+  // every midnight rollover, so a long campaign's scratch footprint is
+  // bounded by its busiest single day. Reset only ever runs from the
+  // midnight task, never inside an event handler that holds a buffer.
+  core::Arena day_arena_{16 * 1024};
+  // Type of the spray sample buffers carved from day_arena_.
+  using SprayBuffer = std::vector<Prefix, core::ArenaAllocator<Prefix>>;
 
   // Weighted customer sampling (per-provider flap multipliers).
   std::vector<double> customer_weight_cumulative_;

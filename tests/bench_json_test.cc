@@ -1,0 +1,116 @@
+// Pins the BENCH_*.json shapes emitted through bench/bench_json.h — the
+// exact bytes tools/bench/compare.py parses. If JsonWriter's formatting or
+// either bench's field layout drifts, the committed baselines under
+// bench/baseline/ stop diffing cleanly and compare.py may stop recognizing
+// the document; this test fails first.
+#include "../bench/bench_json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace iri::bench {
+namespace {
+
+TEST(BenchJson, ScalarsAndNesting) {
+  JsonWriter json;
+  json.BeginObject()
+      .Field("name", "x")
+      .Field("count", std::uint64_t{7})
+      .Field("threads", 2)
+      .Field("enabled", true)
+      .Field("ratio", 1.23456, 3);
+  json.BeginObject("nested").Field("k", 1).EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"name\": \"x\",\n"
+            "  \"count\": 7,\n"
+            "  \"threads\": 2,\n"
+            "  \"enabled\": true,\n"
+            "  \"ratio\": 1.235,\n"
+            "  \"nested\": {\n"
+            "    \"k\": 1\n"
+            "  }\n"
+            "}");
+}
+
+TEST(BenchJson, EmptyContainers) {
+  JsonWriter json;
+  json.BeginObject();
+  json.BeginArray("runs").EndArray();
+  json.BeginObject("empty").EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"runs\": [],\n"
+            "  \"empty\": {}\n"
+            "}");
+}
+
+// The parallel_scaling shape: compare.py keys on doc["runs"][i]["threads"]
+// and reads doc["runs"][i]["updates_per_sec"] as higher-is-better.
+TEST(BenchJson, ParallelScalingRunsShape) {
+  JsonWriter json;
+  json.BeginObject().Field("bench", "parallel_scaling");
+  json.BeginArray("runs");
+  json.BeginObject(nullptr, /*compact=*/true)
+      .Field("threads", 1)
+      .Field("seconds", 2.5, 4)
+      .Field("updates", std::uint64_t{1000})
+      .Field("updates_per_sec", 400.0, 1)
+      .EndObject();
+  json.BeginObject(nullptr, /*compact=*/true)
+      .Field("threads", 2)
+      .Field("seconds", 1.5, 4)
+      .Field("updates", std::uint64_t{1000})
+      .Field("updates_per_sec", 666.7, 1)
+      .EndObject();
+  json.EndArray();
+  json.Field("speedup_vs_serial", 1.667, 3).EndObject();
+  EXPECT_EQ(
+      json.str(),
+      "{\n"
+      "  \"bench\": \"parallel_scaling\",\n"
+      "  \"runs\": [\n"
+      "    {\"threads\": 1, \"seconds\": 2.5000, \"updates\": 1000, "
+      "\"updates_per_sec\": 400.0},\n"
+      "    {\"threads\": 2, \"seconds\": 1.5000, \"updates\": 1000, "
+      "\"updates_per_sec\": 666.7}\n"
+      "  ],\n"
+      "  \"speedup_vs_serial\": 1.667\n"
+      "}");
+}
+
+// The full_paper shape: compare.py iterates doc["metrics"], taking the
+// direction from each entry's own higher_is_better flag.
+TEST(BenchJson, FullPaperMetricsShape) {
+  JsonWriter json;
+  json.BeginObject().Field("bench", "full_paper");
+  json.BeginArray("metrics");
+  json.BeginObject(nullptr, /*compact=*/true)
+      .Field("name", "seconds_per_simday")
+      .Field("value", 6.9, 3)
+      .Field("higher_is_better", false)
+      .EndObject();
+  json.BeginObject(nullptr, /*compact=*/true)
+      .Field("name", "updates_per_sec")
+      .Field("value", 183000.5, 1)
+      .Field("higher_is_better", true)
+      .EndObject();
+  json.EndArray().EndObject();
+  EXPECT_EQ(
+      json.str(),
+      "{\n"
+      "  \"bench\": \"full_paper\",\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"seconds_per_simday\", \"value\": 6.900, "
+      "\"higher_is_better\": false},\n"
+      "    {\"name\": \"updates_per_sec\", \"value\": 183000.5, "
+      "\"higher_is_better\": true}\n"
+      "  ]\n"
+      "}");
+}
+
+}  // namespace
+}  // namespace iri::bench

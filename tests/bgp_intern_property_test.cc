@@ -1,0 +1,120 @@
+// Property tests for the hash-consed AS-path / attribute-set tables
+// (bgp/intern.h): interning is a bijection between distinct values and ids,
+// and every precomputed per-id fact agrees with the deep computation it
+// replaces. The decision process and classifier compare ids instead of
+// walking segments, so these properties are what keeps the fast paths
+// semantically invisible.
+#include "bgp/intern.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "netbase/rng.h"
+
+namespace iri::bgp {
+namespace {
+
+// Random AS path over a deliberately tiny ASN pool so the generator
+// produces plenty of exact collisions (the interesting case for interning).
+AsPath RandomPath(Rng& rng) {
+  std::vector<Asn> asns;
+  const std::size_t len = rng.Below(4);  // 0..3 hops
+  for (std::size_t i = 0; i < len; ++i) {
+    asns.push_back(static_cast<Asn>(701 + rng.Below(5)));
+  }
+  return AsPath::Sequence(std::move(asns));
+}
+
+PathAttributes RandomAttributes(Rng& rng) {
+  PathAttributes attrs;
+  attrs.as_path = RandomPath(rng);
+  attrs.next_hop = IPv4Address(198, 32, 1, static_cast<std::uint8_t>(rng.Below(3)));
+  if (rng.Bernoulli(0.5)) attrs.med = static_cast<std::uint32_t>(rng.Below(3));
+  if (rng.Bernoulli(0.3)) {
+    attrs.local_pref = static_cast<std::uint32_t>(100 + rng.Below(2));
+  }
+  if (rng.Bernoulli(0.2)) {
+    attrs.communities.push_back(
+        Community{static_cast<std::uint32_t>(rng.Below(2))});
+  }
+  return attrs;
+}
+
+TEST(AsPathTableProperty, InternIsBijectionAndMetadataAgrees) {
+  Rng rng(20260808);
+  AsPathTable table;
+  std::map<std::string, AsPathId> seen;  // canonical text -> id
+  for (int i = 0; i < 2000; ++i) {
+    const AsPath path = RandomPath(rng);
+    const AsPathId id = table.Intern(path);
+
+    // Same value <=> same id: intern(a) == intern(b) iff a == b.
+    auto [it, fresh] = seen.emplace(path.ToString(), id);
+    EXPECT_EQ(it->second, id) << "same path re-interned to a different id";
+    if (fresh) {
+      // First sight: ids are dense and insertion-ordered.
+      EXPECT_EQ(id, seen.size() - 1);
+    }
+
+    // The canonical copy is byte-equal to the input.
+    EXPECT_EQ(table.Get(id), path);
+    // Precomputed decision metadata matches the deep computation.
+    EXPECT_EQ(table.DecisionLength(id), path.DecisionLength());
+    EXPECT_EQ(table.FirstAsn(id), path.FirstAsn());
+  }
+  EXPECT_EQ(table.size(), seen.size());
+  EXPECT_GT(table.size(), 1u);
+  EXPECT_LT(table.size(), 2000u) << "generator never collided; pool too big";
+}
+
+TEST(PathAttributesTableProperty, IdCompareMatchesDeepCompare) {
+  Rng rng(42);
+  PathAttributesTable table;
+  std::vector<PathAttributes> originals;
+  std::vector<AttrSetId> ids;
+  for (int i = 0; i < 400; ++i) {
+    originals.push_back(RandomAttributes(rng));
+    ids.push_back(table.Intern(originals.back()));
+    EXPECT_EQ(table.Get(ids.back()), originals.back());
+  }
+  // Pairwise: id equality <=> deep equality, and the precomputed
+  // forwarding-tuple compare matches PathAttributes::ForwardingEquivalent.
+  for (std::size_t a = 0; a < ids.size(); ++a) {
+    for (std::size_t b = 0; b < ids.size(); ++b) {
+      EXPECT_EQ(ids[a] == ids[b], originals[a] == originals[b])
+          << "id compare diverged from deep compare at (" << a << "," << b
+          << ")";
+      EXPECT_EQ(table.ForwardingEquivalent(ids[a], ids[b]),
+                originals[a].ForwardingEquivalent(originals[b]))
+          << "interned forwarding compare diverged at (" << a << "," << b
+          << ")";
+    }
+  }
+}
+
+TEST(PathAttributesTableProperty, CanonicalPointersStableAcrossGrowth) {
+  Rng rng(7);
+  PathAttributesTable table;
+  // Grab a reference early, then force the arena through many more blocks;
+  // the Rib and classifier hold ids across the whole run, so Get() must
+  // keep returning the same storage.
+  const PathAttributes first = RandomAttributes(rng);
+  const AttrSetId first_id = table.Intern(first);
+  const PathAttributes* first_ptr = &table.Get(first_id);
+  for (int i = 0; i < 5000; ++i) {
+    PathAttributes attrs = RandomAttributes(rng);
+    // Widen the value space so most inserts are fresh.
+    attrs.med = static_cast<std::uint32_t>(i);
+    table.Intern(attrs);
+  }
+  EXPECT_EQ(first_ptr, &table.Get(first_id));
+  EXPECT_EQ(*first_ptr, first);
+  EXPECT_GT(table.arena_bytes(), std::size_t{16 * 1024})
+      << "expected the arena to have grown past its first block";
+}
+
+}  // namespace
+}  // namespace iri::bgp

@@ -29,7 +29,7 @@ class RibTest : public ::testing::Test {
 TEST_F(RibTest, AnnounceInstallsBest) {
   auto change = rib.Announce(1, R("10.0.0.0/8", {701}));
   EXPECT_TRUE(change.best_changed);
-  ASSERT_TRUE(change.new_best.has_value());
+  ASSERT_NE(change.new_best, nullptr);
   EXPECT_EQ(change.new_best->peer, 1u);
   EXPECT_EQ(rib.NumPrefixes(), 1u);
   EXPECT_EQ(rib.NumRoutes(), 1u);
@@ -70,7 +70,7 @@ TEST_F(RibTest, WithdrawBestFailsOverToAlternate) {
   rib.Announce(2, R("10.0.0.0/8", {1239, 3561}));
   auto change = rib.Withdraw(1, P("10.0.0.0/8"));
   EXPECT_TRUE(change.best_changed);
-  ASSERT_TRUE(change.new_best.has_value());
+  ASSERT_NE(change.new_best, nullptr);
   EXPECT_EQ(change.new_best->peer, 2u);
 }
 
@@ -86,7 +86,7 @@ TEST_F(RibTest, WithdrawLastRouteEmptiesPrefix) {
   rib.Announce(1, R("10.0.0.0/8", {701}));
   auto change = rib.Withdraw(1, P("10.0.0.0/8"));
   EXPECT_TRUE(change.best_changed);
-  EXPECT_FALSE(change.new_best.has_value());
+  EXPECT_EQ(change.new_best, nullptr);
   EXPECT_EQ(rib.NumPrefixes(), 0u);
   EXPECT_EQ(rib.Best(P("10.0.0.0/8")), nullptr);
 }

@@ -77,6 +77,23 @@ MultiExchangeConfig FiveExchange() {
   return cfg;
 }
 
+// The tentpole's smoke guard: the paper corpus shape itself —
+// scale_denominator = 1 (the full 42k-prefix universe), 16 providers, all
+// five collectors — over a window short enough for CI. Pins byte-for-byte
+// behaviour AND thread-count independence of exactly the configuration
+// bench/full_paper.cc times, so a perf-motivated change that moves any
+// full-scale output byte fails here before it can skew the bench.
+MultiExchangeConfig FullPaperSmoke() {
+  MultiExchangeConfig cfg;
+  cfg.scenario.topology.scale = 1.0;
+  cfg.scenario.topology.num_providers = 16;
+  cfg.scenario.topology.seed = 1996;
+  cfg.scenario.seed = 1997;
+  cfg.scenario.num_exchanges = 5;
+  cfg.scenario.duration = Duration::Minutes(20);
+  return cfg;
+}
+
 MultiExchangeConfig PathologicalDay() {
   MultiExchangeConfig cfg;
   cfg.scenario.topology.scale = 1.0 / 256;
@@ -165,6 +182,7 @@ INSTANTIATE_TEST_SUITE_P(
     Canonical, GoldenRun,
     ::testing::Values(GoldenCase{"baseline_single", &BaselineSingle, 0},
                       GoldenCase{"five_exchange", &FiveExchange, -1},
+                      GoldenCase{"full_paper_smoke", &FullPaperSmoke, -1},
                       GoldenCase{"pathological_day", &PathologicalDay, 1}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       return std::string(info.param.name);

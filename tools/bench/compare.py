@@ -9,6 +9,9 @@ Understands both JSON shapes the repo produces:
   * bench_parallel_scaling output (BENCH_parallel.json):
     {"runs": [{"threads": N, "updates_per_sec": X, ...}, ...]}
     — higher is better; compared on updates_per_sec, keyed by thread count.
+  * bench_full_paper output (BENCH_full_paper.json):
+    {"metrics": [{"name": ..., "value": X, "higher_is_better": B}, ...]}
+    — each metric declares its own direction.
 
 Usage:
   tools/bench/compare.py BASELINE CURRENT [--threshold=0.05] [--warn-only]
@@ -43,6 +46,10 @@ def load_metrics(path: str) -> dict[str, tuple[float, bool]]:
         for run in doc["runs"]:
             name = f"updates_per_sec/threads:{run['threads']}"
             metrics[name] = (float(run["updates_per_sec"]), True)
+    elif "metrics" in doc:
+        for metric in doc["metrics"]:
+            metrics[metric["name"]] = (float(metric["value"]),
+                                       bool(metric["higher_is_better"]))
     else:
         raise ValueError(f"{path}: unrecognized benchmark JSON shape")
     return metrics

@@ -33,10 +33,10 @@ invariants that make that true and that clang-tidy cannot express:
                  Layer hygiene: netbase includes only netbase; obs only
                  {obs, netbase}; bgp only {bgp, obs, netbase};
                  sim/mrt/topology sit above bgp; core sits above sim/mrt;
-                 workload on top. The single sanctioned
-                 exception: any layer above netbase may include
-                 core/invariants.h (built as the bottom-of-stack
-                 iri_invariants library precisely so this is link-safe).
+                 workload on top. Sanctioned exceptions: any layer above
+                 netbase may include core/invariants.h (built as the
+                 bottom-of-stack iri_invariants library precisely so this
+                 is link-safe) and the header-only core/arena.h.
 
 Suppress a finding (sparingly, with a reason in a nearby comment) by putting
 `iri-lint: allow(<rule>)` in a comment on the offending line.
@@ -246,9 +246,11 @@ LAYER_ALLOWED = {
     "workload": {"workload", "core", "igp", "mrt", "sim", "topology",
                  "analysis", "bgp", "obs", "netbase"},
 }
-# The one sanctioned upward include: the invariant-audit primitives live in
-# core/ but link from the bottom of the stack.
-LAYERING_EXCEPTIONS = {"core/invariants.h"}
+# Sanctioned upward includes: foundational primitives that live in core/ but
+# link from the bottom of the stack — the invariant-audit macros and the
+# header-only arena allocator (bgp's intern tables store canonical objects
+# in an Arena; see DESIGN.md §12).
+LAYERING_EXCEPTIONS = {"core/invariants.h", "core/arena.h"}
 # netbase stays completely dependency-free, exceptions included.
 NO_EXCEPTION_LAYERS = {"netbase"}
 
