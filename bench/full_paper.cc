@@ -14,9 +14,11 @@
 // pre-change reference wall-clock per simulated day measured on the same
 // machine, and the JSON then carries the speedup ratio against it.
 //
-// Determinism: with --threads=N the result digest is asserted against the
-// serial digest, same as parallel_scaling — a timing number from a
-// thread-count-dependent computation would be meaningless.
+// Determinism: the timed run honours --threads / --shards / --shard-threads
+// (the intra-exchange sharding knobs of DESIGN.md §13), and whenever any of
+// them departs from 1 the digest is asserted against a serial unsharded
+// run — a timing number from a configuration-dependent computation would be
+// meaningless.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -43,12 +45,20 @@ int main(int argc, char** argv) {
                                    /*providers=*/16);
   std::string out_path = "BENCH_full_paper.json";
   int threads = 1;
+  int shards = 1;
+  int shard_threads = 1;
   double ref_simday = 0;
   bool nine_months = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    }
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+    }
+    if (std::strncmp(argv[i], "--shard-threads=", 16) == 0) {
+      shard_threads = std::atoi(argv[i] + 16);
     }
     if (std::strncmp(argv[i], "--ref-simday=", 13) == 0) {
       ref_simday = std::atof(argv[i] + 13);
@@ -60,30 +70,37 @@ int main(int argc, char** argv) {
   workload::MultiExchangeConfig cfg;
   cfg.scenario = flags.ToScenarioConfig();
   cfg.scenario.num_exchanges = 5;
-  cfg.threads = 1;
+  cfg.scenario.shards = shards;
+  cfg.scenario.shard_threads = shard_threads;
+  cfg.threads = threads;
 
   const int prefixes = static_cast<int>(
       cfg.scenario.topology.full_scale_prefixes * cfg.scenario.topology.scale);
 
-  // Timed serial run: the headline seconds-per-simulated-day number.
+  // Timed run at the requested parallelism: the headline
+  // seconds-per-simulated-day number.
   const auto start = std::chrono::steady_clock::now();
   workload::MultiExchangeRunner runner(cfg);
   const workload::MultiExchangeResult result = runner.Run();
   const double seconds = SecondsSince(start);
   const std::string digest = result.Digest("full_paper");
 
-  if (threads > 1) {
-    workload::MultiExchangeConfig parallel_cfg = cfg;
-    parallel_cfg.threads = threads;
-    workload::MultiExchangeRunner parallel_runner(std::move(parallel_cfg));
-    if (parallel_runner.Run().Digest("full_paper") != digest) {
+  if (threads != 1 || shards != 1 || shard_threads != 1) {
+    workload::MultiExchangeConfig serial_cfg = cfg;
+    serial_cfg.threads = 1;
+    serial_cfg.scenario.shards = 1;
+    serial_cfg.scenario.shard_threads = 1;
+    workload::MultiExchangeRunner serial_runner(std::move(serial_cfg));
+    if (serial_runner.Run().Digest("full_paper") != digest) {
       std::fprintf(stderr,
-                   "FATAL: %d-thread run produced a different digest than "
-                   "the serial run — determinism broken\n",
-                   threads);
+                   "FATAL: (threads=%d shards=%d shard_threads=%d) produced "
+                   "a different digest than the serial unsharded run — "
+                   "determinism broken\n",
+                   threads, shards, shard_threads);
       return 1;
     }
-    std::printf("digest stable at %d thread(s)\n", threads);
+    std::printf("digest stable at threads=%d shards=%d shard_threads=%d\n",
+                threads, shards, shard_threads);
   }
 
   const double seconds_per_simday = seconds / flags.days;
@@ -134,7 +151,9 @@ int main(int argc, char** argv) {
       .Field("days", flags.days, 3)
       .Field("providers", flags.providers)
       .Field("seed", flags.seed)
-      .Field("threads_checked", threads)
+      .Field("threads", threads)
+      .Field("shards", shards)
+      .Field("shard_threads", shard_threads)
       .Field("messages", result.total_messages)
       .Field("events", result.total_events)
       .Field("seconds", seconds, 2);

@@ -18,12 +18,12 @@ RibChange Rib::Announce(PeerId peer, const Prefix& prefix,
   IRI_ASSERT(peers_.contains(peer),
              "Announce from a peer never registered with AddPeer");
   Entry* entry;
-  if (auto it = index_.find(prefix); it != index_.end()) {
-    entry = it->second;
+  if (Entry** slot = index_.Find(prefix); slot != nullptr) {
+    entry = *slot;
   } else {
     table_.Insert(prefix, Entry{});
     entry = table_.Find(prefix);
-    index_.emplace(prefix, entry);
+    *index_.TryEmplace(prefix).first = entry;
   }
   if (entry->candidates.empty()) ++num_prefixes_;  // fresh entry or tombstone
   const bool had_best = entry->best >= 0;
@@ -99,9 +99,9 @@ RibChange Rib::Announce(PeerId peer, const Prefix& prefix,
 
 RibChange Rib::Withdraw(PeerId peer, const Prefix& prefix) {
   obs::ScopedTimer timer(&withdraw_site_, 1);
-  const auto it = index_.find(prefix);
-  if (it == index_.end()) return {};
-  Entry* entry = it->second;
+  Entry* const* slot = index_.Find(prefix);
+  if (slot == nullptr) return {};
+  Entry* entry = *slot;
   const bool had_best = entry->best >= 0;
   const PeerId old_best_peer =
       had_best ? entry->candidates[static_cast<std::size_t>(entry->best)].peer
@@ -162,16 +162,16 @@ std::vector<Prefix> Rib::ClearPeer(PeerId peer) {
 
 const Candidate* Rib::Best(const Prefix& prefix) const {
   obs::ScopedTimer timer(&lookup_site_, 1);
-  const auto it = index_.find(prefix);
-  if (it == index_.end() || it->second->best < 0) return nullptr;
-  const Entry* entry = it->second;
+  Entry* const* slot = index_.Find(prefix);
+  if (slot == nullptr || (*slot)->best < 0) return nullptr;
+  const Entry* entry = *slot;
   return &entry->candidates[static_cast<std::size_t>(entry->best)];
 }
 
 std::vector<Candidate> Rib::CandidatesFor(const Prefix& prefix) const {
-  const auto it = index_.find(prefix);
-  if (it == index_.end()) return {};
-  return it->second->candidates;
+  Entry* const* slot = index_.Find(prefix);
+  if (slot == nullptr) return {};
+  return (*slot)->candidates;
 }
 
 std::size_t Rib::PeerRouteCount(PeerId peer) const {
@@ -188,8 +188,8 @@ bool Rib::AuditInvariants() const {
   std::size_t unindexed_routes = 0;    // candidate missing from peer_prefixes_
   std::size_t stale_index_entries = 0; // index_ disagrees with the trie
   table_.Visit([&](const Prefix& prefix, const Entry& e) {
-    const auto idx = index_.find(prefix);
-    if (idx == index_.end() || idx->second != &e) ++stale_index_entries;
+    Entry* const* idx = index_.Find(prefix);
+    if (idx == nullptr || *idx != &e) ++stale_index_entries;
     candidate_total += e.candidates.size();
     if (e.candidates.empty()) {
       if (e.best != -1) ++malformed_entries;

@@ -16,7 +16,9 @@
 #include "bgp/decision.h"
 #include "bgp/intern.h"
 #include "bgp/route.h"
+#include "netbase/probe_map.h"
 #include "netbase/radix_trie.h"
+#include "netbase/shard.h"
 #include "obs/profile.h"
 
 namespace iri::bgp {
@@ -39,7 +41,7 @@ class Rib {
   // Pre-size the probed-only exact-match index: a border router at paper
   // scale tracks tens of thousands of prefixes, and the early rehash
   // cascade shows up in the full-paper profile.
-  Rib() { index_.reserve(1 << 12); }
+  Rib() { index_.Reserve(1 << 12); }
 
   // Registers a peer before routes from it can be accepted. `router_id` is
   // used for the final decision tie-break.
@@ -129,6 +131,19 @@ class Rib {
     });
   }
 
+  // VisitBest restricted to the prefixes `map` assigns to `shard`, still in
+  // address order. Running this for shards 0..N-1 visits exactly the
+  // prefixes VisitBest does, each once — the shard-coverage property the
+  // shard-merge test suite pins.
+  template <typename Fn>
+  void VisitBestSharded(const ShardMap& map, int shard, Fn&& fn) const {
+    table_.Visit([&map, shard, &fn](const Prefix& p, const Entry& e) {
+      if (e.best >= 0 && map.ShardOf(p) == shard) {
+        fn(p, e.candidates[static_cast<std::size_t>(e.best)]);
+      }
+    });
+  }
+
  private:
   struct Entry {
     std::vector<Candidate> candidates;
@@ -141,12 +156,12 @@ class Rib {
   };
 
   RadixTrie<Entry> table_;
-  // Exact-match accelerator over the trie: one hash probe instead of a
+  // Exact-match accelerator over the trie: one flat probe instead of a
   // length()-deep pointer chase, on every Announce/Withdraw/Best. Entry
   // pointers are stable because entries are never erased (tombstones), and
-  // the map is only ever probed — never iterated — so its bucket order
-  // cannot reach any output. Address-order visitation stays on the trie.
-  std::unordered_map<Prefix, Entry*> index_;
+  // ProbeMap has no iteration API, so its slot order cannot reach any
+  // output. Address-order visitation stays on the trie.
+  ProbeMap<Prefix, Entry*> index_;
   std::unordered_map<PeerId, IPv4Address> peers_;
   std::unordered_map<PeerId, std::unordered_set<Prefix>> peer_prefixes_;
   AsPathTable paths_;

@@ -46,14 +46,14 @@ std::vector<UpdateMessage> PackUpdates(std::span<const RouteOp> ops) {
 
 void OutboundQueue::Enqueue(TimePoint now, RouteOp op) {
   if (pending_.empty()) deadline_ = ComputeDeadline(now);
-  auto [it, inserted] = index_.try_emplace(
-      op.prefix, static_cast<std::uint32_t>(pending_.size()));
+  auto [slot, inserted] = index_.TryEmplace(op.prefix);
   if (inserted) {
+    *slot = static_cast<std::uint32_t>(pending_.size());
     pending_.push_back(std::move(op));
   } else {
     // Latest wins, keeping the original order slot; an announcement that
     // supersedes a queued withdrawal remembers it (see RouteOp).
-    RouteOp& prior = pending_[it->second];
+    RouteOp& prior = pending_[*slot];
     if (!op.IsWithdraw() &&
         (prior.IsWithdraw() || prior.withdraw_preceded)) {
       op.withdraw_preceded = true;
@@ -78,7 +78,7 @@ TimePoint OutboundQueue::ComputeDeadline(TimePoint now) {
 std::vector<RouteOp> OutboundQueue::Flush(TimePoint now) {
   if (pending_.empty() || now < deadline_) return {};
   deadline_ = TimePoint::Max();
-  index_.clear();
+  index_.Clear();
   std::vector<RouteOp> ops;
   ops.swap(pending_);  // already in first-enqueue order
   return ops;

@@ -16,11 +16,11 @@
 
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "bgp/message.h"
 #include "bgp/route.h"
+#include "netbase/probe_map.h"
 #include "netbase/rng.h"
 #include "netbase/time.h"
 
@@ -85,11 +85,11 @@ class OutboundQueue {
   Rng rng_;
   // Net ops in first-enqueue order: latest-wins updates overwrite their
   // original slot, so the vector is already flush-ordered — no sequence
-  // numbers, no sort, no per-op tree node. index_ dedups by prefix and is
-  // probed only (try_emplace/clear; never iterated), so its bucket order
-  // cannot reach any output.
+  // numbers, no sort, no per-op tree node. index_ dedups by prefix; the
+  // flat ProbeMap is probed only by construction (no iteration API), so its
+  // slot order cannot reach any output.
   std::vector<RouteOp> pending_;
-  std::unordered_map<Prefix, std::uint32_t> index_;
+  ProbeMap<Prefix, std::uint32_t> index_;
   TimePoint deadline_ = TimePoint::Max();
 };
 

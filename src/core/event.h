@@ -28,18 +28,21 @@ struct UpdateEvent {
 
 // Like ExplodeUpdate below, but recycles `out`'s elements — and their
 // attribute buffer capacity — instead of destroying and re-creating them.
-// `out` only ever grows; the first `n` returned elements are valid. This is
-// the monitor's per-message hot path: at full paper scale it runs hundreds
-// of thousands of times per simulated day, and buffer reuse makes the
-// steady state allocation-free.
+// `out` only ever grows; elements [start, start + n) of the returned n are
+// valid. This is the monitor's per-message hot path: at full paper scale it
+// runs hundreds of thousands of times per simulated day, and buffer reuse
+// makes the steady state allocation-free. `start` lets the sharded
+// classification pipeline explode straight into its pending batch buffer
+// (appending after the events already queued) with the same recycling.
 inline std::size_t ExplodeUpdateReuse(TimePoint now, bgp::PeerId peer,
                                       bgp::Asn peer_asn,
                                       const bgp::UpdateMessage& update,
-                                      std::vector<UpdateEvent>& out) {
+                                      std::vector<UpdateEvent>& out,
+                                      std::size_t start = 0) {
   static const bgp::PathAttributes kEmptyAttrs;
   const std::size_t total = update.withdrawn.size() + update.nlri.size();
-  if (out.size() < total) out.resize(total);
-  std::size_t n = 0;
+  if (out.size() < start + total) out.resize(start + total);
+  std::size_t n = start;
   for (const Prefix& w : update.withdrawn) {
     UpdateEvent& ev = out[n++];
     ev.time = now;
@@ -60,7 +63,7 @@ inline std::size_t ExplodeUpdateReuse(TimePoint now, bgp::PeerId peer,
     ev.prefix = p;
     ev.attributes = update.attributes;
   }
-  return n;
+  return n - start;
 }
 
 // Flattens an UPDATE message into per-prefix events, withdrawals first

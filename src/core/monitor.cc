@@ -1,14 +1,29 @@
 #include "core/monitor.h"
 
+#include <string>
+#include <utility>
+
+#include "core/invariants.h"
+
 namespace iri::core {
 
 void ExchangeMonitor::Attach(sim::Router& route_server) {
   local_asn_ = route_server.config().asn;
   route_server.SetUpdateTap(
       [this](TimePoint now, bgp::PeerId peer, bgp::Asn peer_asn,
-             const bgp::UpdateMessage& update) {
-        Ingest(now, peer, peer_asn, update);
+             const bgp::UpdateMessage& update,
+             std::span<const std::uint8_t> wire) {
+        Ingest(now, peer, peer_asn, update, wire);
       });
+}
+
+void ExchangeMonitor::ConfigureSharding(int shards, int shard_threads,
+                                        std::size_t batch_cap) {
+  IRI_ASSERT(pending_count_ == 0 && events_seen_ == 0,
+             "sharding must be configured before ingestion starts");
+  classifier_.Configure(shards);
+  shard_threads_ = shard_threads < 1 ? 1 : shard_threads;
+  batch_cap_ = batch_cap;
 }
 
 void ExchangeMonitor::AttachMetrics(obs::Registry* registry) {
@@ -16,6 +31,9 @@ void ExchangeMonitor::AttachMetrics(obs::Registry* registry) {
     messages_metric_ = events_metric_ = mrt_records_metric_ = nullptr;
     category_metrics_.fill(nullptr);
     ingest_site_ = obs::ProfileSite{};
+    drain_site_ = obs::ProfileSite{};
+    shard_events_metrics_.clear();
+    shard_depth_metrics_.clear();
     return;
   }
   messages_metric_ = &registry->GetCounter("monitor.messages");
@@ -26,6 +44,34 @@ void ExchangeMonitor::AttachMetrics(obs::Registry* registry) {
         std::string("monitor.bin.") + ToString(static_cast<Category>(i)));
   }
   ingest_site_ = obs::MakeProfileSite(*registry, "monitor.ingest");
+  // Hand-rolled kWallClock site (MakeProfileSite would register calls/items
+  // as deterministic): drain cadence depends on the batching configuration
+  // — offline replay drains per message, live scenarios on cap and tick —
+  // so even the counts must stay out of deterministic snapshots or the
+  // replay-differential contract (identical monitor.* snapshots) breaks.
+  drain_site_.calls = &registry->GetCounter("profile.monitor.drain.calls",
+                                            obs::Stability::kWallClock);
+  drain_site_.items = &registry->GetCounter("profile.monitor.drain.items",
+                                            obs::Stability::kWallClock);
+  drain_site_.wall_ns =
+      registry->wall_clock_profiling()
+          ? &registry->GetCounter("profile.monitor.drain.wall_ns",
+                                  obs::Stability::kWallClock)
+          : nullptr;
+  // Per-shard depth instruments are kWallClock by design: shard-count-
+  // dependent names must never reach a digest-feeding snapshot (golden
+  // digests are pinned byte-identical across the (threads x shards)
+  // matrix). The scaling bench reads them with include_wall_clock=true.
+  shard_events_metrics_.clear();
+  shard_depth_metrics_.clear();
+  for (int s = 0; s < classifier_.num_shards(); ++s) {
+    const std::string tag = std::to_string(s);
+    shard_events_metrics_.push_back(&registry->GetCounter(
+        "monitor.shard." + tag + ".events", obs::Stability::kWallClock));
+    shard_depth_metrics_.push_back(&registry->GetGauge(
+        "monitor.shard." + tag + ".depth_peak", obs::Stability::kWallClock,
+        obs::GaugeMerge::kMax));
+  }
 }
 
 void ExchangeMonitor::AttachTimeSeries(obs::SeriesFlusher* series,
@@ -49,41 +95,87 @@ void ExchangeMonitor::AttachTimeSeries(obs::SeriesFlusher* series,
 
 void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
                              bgp::Asn peer_asn,
-                             const bgp::UpdateMessage& update) {
+                             const bgp::UpdateMessage& update,
+                             std::span<const std::uint8_t> wire) {
   obs::ScopedTimer timer(&ingest_site_);
   ++messages_seen_;
   if (messages_metric_ != nullptr) messages_metric_->Add(1);
   if (mrt_ != nullptr) {
-    mrt_->LogMessage(now, peer, static_cast<std::uint16_t>(peer_asn),
-                     static_cast<std::uint16_t>(local_asn_), update);
+    if (!wire.empty()) {
+      // Zero-copy: log the exact received bytes. Encode(Decode(x)) == x is
+      // pinned by the roundtrip fuzz suite, so this writes what the
+      // re-encoding path would have.
+      mrt_->LogPayload(now, peer, static_cast<std::uint16_t>(peer_asn),
+                       static_cast<std::uint16_t>(local_asn_), wire);
+    } else {
+      mrt_->LogMessage(now, peer, static_cast<std::uint16_t>(peer_asn),
+                       static_cast<std::uint16_t>(local_asn_), update);
+    }
     if (mrt_records_metric_ != nullptr) mrt_records_metric_->Add(1);
   }
-  const std::size_t n =
-      ExplodeUpdateReuse(now, peer, peer_asn, update, scratch_);
+  // Stage 1: explode into the pending batch (appending after what is
+  // already queued; slots recycle their attribute buffers) and feed every
+  // category-independent consumer at tap time.
+  const std::size_t n = ExplodeUpdateReuse(now, peer, peer_asn, update,
+                                           pending_, pending_count_);
   timer.AddItems(n);
   if (events_per_msg_series_ != nullptr) {
     events_per_msg_series_->Observe(static_cast<std::int64_t>(n));
   }
+  if (health_ != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      health_->ObservePeerEvent(now, peer);
+    }
+  }
+  pending_count_ += n;
+  if (batch_cap_ == 0 || pending_count_ >= batch_cap_) Drain();
+}
+
+void ExchangeMonitor::Drain() {
+  if (pending_count_ == 0) return;
+  const std::size_t n = pending_count_;
+  if (verdicts_.size() < n) verdicts_.resize(n);
+  {
+    // Stage 2: sharded classification. The timer is the bench's merge-wait
+    // signal (wall time the serial analysis stage spends blocked on the
+    // fork-join); count/items stay deterministic and shard-independent.
+    obs::ScopedTimer timer(&drain_site_, n);
+    classifier_.ClassifyBatch({pending_.data(), n}, {verdicts_.data(), n},
+                              shard_threads_);
+  }
+  if (!shard_events_metrics_.empty()) {
+    const auto& counts = classifier_.last_batch_shard_counts();
+    for (std::size_t s = 0; s < counts.size(); ++s) {
+      shard_events_metrics_[s]->Add(counts[s]);
+      shard_depth_metrics_[s]->RaiseTo(static_cast<std::int64_t>(counts[s]));
+    }
+  }
+  // Stage 3: serial analysis walk in arrival order — the only stage that
+  // observes categories, so every output byte is produced in a fixed order
+  // regardless of how stage 2 was scheduled.
   for (std::size_t i = 0; i < n; ++i) {
-    // Both scratch buffers recycle their attribute storage: the explode →
-    // classify pipeline is allocation-free in the steady state.
-    classifier_.ClassifyInto(scratch_[i], classified_scratch_);
-    const ClassifiedEvent& classified = classified_scratch_;
+    const ShardVerdict v = verdicts_[i];
     ++events_seen_;
     if (events_metric_ != nullptr) {
       events_metric_->Add(1);
-      category_metrics_[static_cast<std::size_t>(classified.category)]->Add(1);
+      category_metrics_[static_cast<std::size_t>(v.category)]->Add(1);
     }
     if (updates_series_ != nullptr) {
       updates_series_->Add(1);
-      if (classified.category == Category::kWWDup) wwdup_series_->Add(1);
-      if (classified.category == Category::kAADup) aadup_series_->Add(1);
+      if (v.category == Category::kWWDup) wwdup_series_->Add(1);
+      if (v.category == Category::kAADup) aadup_series_->Add(1);
     }
-    if (health_ != nullptr) {
-      health_->ObservePeerEvent(now, classified.event.peer);
+    if (!sinks_.empty()) {
+      classified_scratch_.category = v.category;
+      classified_scratch_.policy_fluctuation = v.policy_fluctuation;
+      // Swap, don't copy: the batch slot donates its event (and buffers) to
+      // the sink view and inherits the scratch's previous buffers, so both
+      // sides keep their capacity.
+      std::swap(classified_scratch_.event, pending_[i]);
+      for (const Sink& sink : sinks_) sink(classified_scratch_);
     }
-    for (const Sink& sink : sinks_) sink(classified);
   }
+  pending_count_ = 0;
 }
 
 std::uint64_t ExchangeMonitor::Replay(mrt::Reader& reader) {
@@ -92,10 +184,12 @@ std::uint64_t ExchangeMonitor::Replay(mrt::Reader& reader) {
     auto msg = rec->DecodeMessage();
     if (!msg) continue;
     if (const auto* update = std::get_if<bgp::UpdateMessage>(&*msg)) {
-      Ingest(rec->timestamp, rec->peer_id, rec->peer_asn, *update);
+      Ingest(rec->timestamp, rec->peer_id, rec->peer_asn, *update,
+             rec->payload);
       ++updates;
     }
   }
+  Drain();
   return updates;
 }
 

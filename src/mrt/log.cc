@@ -5,20 +5,42 @@
 
 namespace iri::mrt {
 
+namespace {
+
+// Appends `v` big-endian to `out`.
+template <typename T>
+void PutBe(T v, std::vector<std::uint8_t>& out) {
+  for (int shift = (sizeof(T) - 1) * 8; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+}  // namespace
+
+void EncodeRecordRaw(TimePoint timestamp, std::uint32_t peer_id,
+                     std::uint16_t peer_asn, std::uint16_t local_asn,
+                     std::span<const std::uint8_t> payload,
+                     std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  // No reserve here: `out` may be a capture buffer holding the whole stream,
+  // and an exact-size reserve defeats geometric growth — every record would
+  // reallocate and copy the entire stream (quadratic in stream length).
+  PutBe(static_cast<std::uint64_t>(timestamp.nanos()), out);
+  PutBe(kTypeBgp4mp, out);
+  PutBe(kSubtypeMessage, out);
+  PutBe(peer_asn, out);
+  PutBe(local_asn, out);
+  PutBe(peer_id, out);
+  PutBe(static_cast<std::uint32_t>(payload.size()), out);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t crc =
+      Crc32({out.data() + start, out.size() - start});
+  PutBe(crc, out);
+}
+
 void EncodeRecord(const Record& record, std::vector<std::uint8_t>& out) {
-  ByteWriter w;
-  w.U64(static_cast<std::uint64_t>(record.timestamp.nanos()));
-  w.U16(kTypeBgp4mp);
-  w.U16(kSubtypeMessage);
-  w.U16(record.peer_asn);
-  w.U16(record.local_asn);
-  w.U32(record.peer_id);
-  w.U32(static_cast<std::uint32_t>(record.payload.size()));
-  w.Bytes(record.payload);
-  const std::uint32_t crc = Crc32(w.data());
-  w.U32(crc);
-  const auto& bytes = w.data();
-  out.insert(out.end(), bytes.begin(), bytes.end());
+  EncodeRecordRaw(record.timestamp, record.peer_id, record.peer_asn,
+                  record.local_asn, record.payload, out);
 }
 
 Writer::Writer(const std::string& path) {
@@ -29,27 +51,29 @@ Writer::Writer(const std::string& path) {
 Writer::~Writer() { Close(); }
 
 void Writer::Append(const Record& record) {
-  if (!ok_) return;
-  if (file_ != nullptr) {
-    std::vector<std::uint8_t> bytes;
-    EncodeRecord(record, bytes);
-    ok_ = std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size();
-  } else {
-    EncodeRecord(record, buffer_);
-  }
-  ++records_;
+  LogPayload(record.timestamp, record.peer_id, record.peer_asn,
+             record.local_asn, record.payload);
 }
 
 void Writer::LogMessage(TimePoint now, std::uint32_t peer_id,
                         std::uint16_t peer_asn, std::uint16_t local_asn,
                         const bgp::Message& msg) {
-  Record rec;
-  rec.timestamp = now;
-  rec.peer_id = peer_id;
-  rec.peer_asn = peer_asn;
-  rec.local_asn = local_asn;
-  rec.payload = bgp::Encode(msg);
-  Append(rec);
+  LogPayload(now, peer_id, peer_asn, local_asn, bgp::Encode(msg));
+}
+
+void Writer::LogPayload(TimePoint now, std::uint32_t peer_id,
+                        std::uint16_t peer_asn, std::uint16_t local_asn,
+                        std::span<const std::uint8_t> payload) {
+  if (!ok_) return;
+  if (file_ != nullptr) {
+    scratch_.clear();
+    EncodeRecordRaw(now, peer_id, peer_asn, local_asn, payload, scratch_);
+    ok_ = std::fwrite(scratch_.data(), 1, scratch_.size(), file_) ==
+          scratch_.size();
+  } else {
+    EncodeRecordRaw(now, peer_id, peer_asn, local_asn, payload, buffer_);
+  }
+  ++records_;
 }
 
 void Writer::Flush() {

@@ -54,6 +54,15 @@ struct Record {
 // Serializes one record (with CRC) into `out`.
 void EncodeRecord(const Record& record, std::vector<std::uint8_t>& out);
 
+// Same wire bytes, but straight from the header fields and a payload view —
+// no intermediate Record, no scratch buffer: the record is appended to
+// `out` in place and the CRC computed over the appended region. This is the
+// zero-copy path the monitor drives with the received wire bytes.
+void EncodeRecordRaw(TimePoint timestamp, std::uint32_t peer_id,
+                     std::uint16_t peer_asn, std::uint16_t local_asn,
+                     std::span<const std::uint8_t> payload,
+                     std::vector<std::uint8_t>& out);
+
 // Appends records to an in-memory buffer or a file.
 class Writer {
  public:
@@ -75,6 +84,13 @@ class Writer {
   void LogMessage(TimePoint now, std::uint32_t peer_id, std::uint16_t peer_asn,
                   std::uint16_t local_asn, const bgp::Message& msg);
 
+  // Zero-copy variant: logs already-encoded wire bytes as the payload
+  // (byte-identical to LogMessage of the decoded message, by the
+  // Encode/Decode roundtrip contract).
+  void LogPayload(TimePoint now, std::uint32_t peer_id, std::uint16_t peer_asn,
+                  std::uint16_t local_asn,
+                  std::span<const std::uint8_t> payload);
+
   // In-memory contents (empty for file-backed writers once flushed).
   const std::vector<std::uint8_t>& buffer() const { return buffer_; }
 
@@ -83,6 +99,7 @@ class Writer {
 
  private:
   std::vector<std::uint8_t> buffer_;
+  std::vector<std::uint8_t> scratch_;  // file path: per-record encode buffer
   std::FILE* file_ = nullptr;
   bool ok_ = true;
   std::uint64_t records_ = 0;

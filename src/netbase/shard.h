@@ -1,0 +1,63 @@
+// Stable prefix-space sharding.
+//
+// ShardMap assigns every Prefix to one of N shards by a fixed avalanche
+// hash of its canonical (bits, length) form. The assignment depends only on
+// the prefix value and the shard count — never on insertion order, thread
+// placement, platform, or standard library — so any state keyed by
+// (Prefix, ...) can be partitioned into N disjoint sub-tables whose
+// per-key evolution is identical to the unsharded table's:
+//
+//   * every event for a given prefix lands in the same shard, in arrival
+//     order, so the per-key state machine sees exactly the stream it would
+//     have seen unsharded;
+//   * aggregate statistics are sums over disjoint key sets, merged in fixed
+//     shard order (0..N-1) — byte-identical at any (threads x shards)
+//     combination. tests/golden_run_test.cc pins that matrix.
+//
+// The hash is the SplitMix64 finalizer already used by std::hash<Prefix>,
+// but folded with a distinct salt so shard assignment is decorrelated from
+// hash-table bucket placement (a pathological table layout cannot alias
+// into a pathological shard imbalance, and vice versa).
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/ipv4.h"
+
+namespace iri {
+
+class ShardMap {
+ public:
+  // num_shards < 1 is treated as 1 (the unsharded identity map).
+  explicit constexpr ShardMap(int num_shards)
+      : num_shards_(num_shards < 1 ? 1 : num_shards) {}
+
+  constexpr int num_shards() const { return num_shards_; }
+
+  // Stable shard index in [0, num_shards) for `prefix`.
+  constexpr int ShardOf(const Prefix& prefix) const {
+    if (num_shards_ == 1) return 0;
+    return static_cast<int>(Mix(prefix) %
+                            static_cast<std::uint64_t>(num_shards_));
+  }
+
+  // The raw 64-bit mix, exposed so callers with power-of-two shard counts
+  // (or tests probing distribution quality) can mask instead of divide.
+  static constexpr std::uint64_t Mix(const Prefix& prefix) {
+    std::uint64_t x = (std::uint64_t{prefix.bits()} << 8) | prefix.length();
+    x ^= kShardSalt;
+    x ^= x >> 30; x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27; x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+ private:
+  // Any fixed odd constant works; this one is unrelated to the multipliers
+  // above and to std::hash<Prefix> (which applies no pre-salt).
+  static constexpr std::uint64_t kShardSalt = 0xa0761d6478bd642fULL;
+
+  int num_shards_ = 1;
+};
+
+}  // namespace iri

@@ -79,17 +79,22 @@ void Router::Originate(const bgp::Route& route) {
   // locally but NOT advertised until the reuse timer releases them.
   bool suppressed = false;
   if (config_.enable_dampening) {
-    auto prev = local_routes_.find(route.prefix);
+    const std::uint32_t* prev = local_index_.Find(route.prefix);
+    const bool exists = prev != nullptr && *prev != kNoLocalRoute;
     const bool attr_change =
-        prev != local_routes_.end() &&
-        !prev->second.attributes.ForwardingEquivalent(route.attributes);
-    const bool was_withdrawn = prev == local_routes_.end();
+        exists && !local_routes_[*prev].attributes.ForwardingEquivalent(
+                      route.attributes);
     const auto verdict = dampener_.OnAnnounce(
-        {route.prefix, bgp::kLocalPeer}, sched_.Now(),
-        attr_change && !was_withdrawn);
+        {route.prefix, bgp::kLocalPeer}, sched_.Now(), attr_change);
     suppressed = verdict != bgp::DampVerdict::kPass;
   }
-  local_routes_[route.prefix] = route;
+  auto [slot, fresh] = local_index_.TryEmplace(route.prefix);
+  if (fresh || *slot == kNoLocalRoute) {
+    *slot = static_cast<std::uint32_t>(local_routes_.size());
+    local_routes_.push_back(route);
+  } else {
+    local_routes_[*slot] = route;
+  }
   // Local routes win the decision against any learned path. The scratch
   // member keeps its buffer capacity across the scenario's hundreds of
   // thousands of Originate calls.
@@ -106,7 +111,7 @@ void Router::Originate(const bgp::Route& route) {
         dampener_.ReuseTime({route.prefix, bgp::kLocalPeer}, sched_.Now());
     const Prefix prefix = route.prefix;
     sched_.At(reuse + Duration::Seconds(1), [this, prefix] {
-      if (crashed_ || !local_routes_.contains(prefix)) return;
+      if (crashed_ || !HasLocalRoute(prefix)) return;
       if (dampener_.IsSuppressed({prefix, bgp::kLocalPeer}, sched_.Now())) {
         return;  // re-flapped in the meantime; a later release is scheduled
       }
@@ -122,7 +127,20 @@ void Router::WithdrawLocal(const Prefix& prefix) {
   if (config_.enable_dampening) {
     dampener_.OnWithdraw({prefix, bgp::kLocalPeer}, sched_.Now());
   }
-  local_routes_.erase(prefix);
+  if (std::uint32_t* slot = local_index_.Find(prefix);
+      slot != nullptr && *slot != kNoLocalRoute) {
+    // Swap-erase the dense vector; the index has no single-key erase, so the
+    // vacated entry is tombstoned in place.
+    const std::uint32_t i = *slot;
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(local_routes_.size()) - 1;
+    if (i != last) {
+      local_routes_[i] = std::move(local_routes_[last]);
+      *local_index_.Find(local_routes_[i].prefix) = i;
+    }
+    local_routes_.pop_back();
+    *slot = kNoLocalRoute;
+  }
   const bgp::RibChange change = rib_.Withdraw(bgp::kLocalPeer, prefix);
   if (config_.stateless_bgp && rib_.Best(prefix) == nullptr) {
     BroadcastWithdraw(prefix);
@@ -131,7 +149,8 @@ void Router::WithdrawLocal(const Prefix& prefix) {
 }
 
 bool Router::HasLocalRoute(const Prefix& prefix) const {
-  return local_routes_.contains(prefix);
+  const std::uint32_t* slot = local_index_.Find(prefix);
+  return slot != nullptr && *slot != kNoLocalRoute;
 }
 
 void Router::SprayWithdrawals(std::span<const Prefix> prefixes) {
@@ -149,10 +168,13 @@ void Router::InternalReset(double dirty_fraction) {
   // The local routes behind the reset adjacency are marked dirty by the
   // IGP/iBGP reconvergence. The stateless flush re-sends current state for
   // exported prefixes (AADup at receivers) and emits withdrawals for
-  // prefixes export policy never announced (WWDup).
-  for (const auto& [prefix, route] : local_routes_) {
+  // prefixes export policy never announced (WWDup). The sweep order (which
+  // reaches the wire) is the dense vector's insertion/swap-erase order — a
+  // pure function of the call history, not of any hash layout.
+  const std::size_t n = local_routes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
     if (dirty_fraction < 1.0 && rng_.Uniform() >= dirty_fraction) continue;
-    PropagateChange(prefix);
+    PropagateChange(local_routes_[i].prefix);
   }
 }
 
@@ -251,7 +273,7 @@ void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) {
   if (was_established && p.established && update != nullptr) {
     ++stats_.updates_rx;
     if (metrics_.updates_rx) metrics_.updates_rx->Add(1);
-    if (tap_) tap_(sched_.Now(), peer, p.remote_asn, *update);
+    if (tap_) tap_(sched_.Now(), peer, p.remote_asn, *update, bytes);
     ProcessUpdate(peer, *update);
   }
 }
@@ -296,23 +318,45 @@ void Router::ScheduleFsmTimer(bgp::PeerId id) {
   Peer& p = peers_[id];
   const TimePoint deadline = p.fsm.NextDeadline();
   if (deadline == TimePoint::Max()) return;
-  const std::uint64_t gen = ++p.timer_generation;
-  sched_.At(deadline, [this, id, gen] {
-    Peer& peer = peers_[id];
-    if (peer.timer_generation != gen || crashed_) return;
-    bgp::SessionFsm::Actions actions;
-    peer.fsm.OnTimer(sched_.Now(), actions);
-    HandleFsmActions(id, actions);
-    // Connect retry: if the transport (link) is still there, re-initiate
-    // the handshake — the FSM only tracks deadlines, the "TCP connect" is
-    // ours to perform.
-    if (peer.fsm.state() == bgp::SessionState::kConnect &&
-        peer.link != nullptr && peer.link->up()) {
-      OnTransportUp(id);
-    } else {
-      ScheduleFsmTimer(id);
-    }
-  });
+  // Lazy re-arm. SessionFsm::OnTimer is a pure deadline poll (every branch
+  // guards on now >= deadline), so a poll already pending at or before the
+  // new deadline will observe the moved deadline when it fires and re-arm
+  // itself. The alternative — cancel-and-reschedule on every received
+  // message — leaves one dead heap entry per message in the scheduler
+  // (millions at paper scale; the hold timer moves on every keepalive).
+  if (p.timer_armed <= deadline) return;
+  p.timer_armed = deadline;
+  sched_.At(deadline, [this, id] { FsmTimerFired(id); });
+}
+
+void Router::FsmTimerFired(bgp::PeerId id) {
+  Peer& p = peers_[id];
+  const TimePoint now = sched_.Now();
+  // A poll that is not the tracked earliest one (superseded by an earlier
+  // arm, or cancelled by Crash) is dead weight: drop it.
+  if (p.timer_armed > now) return;
+  p.timer_armed = TimePoint::Max();
+  if (crashed_) return;
+  const TimePoint deadline = p.fsm.NextDeadline();
+  if (deadline == TimePoint::Max()) return;
+  if (deadline > now) {
+    // The deadline moved since this poll was armed (hold timer refreshed by
+    // traffic): re-arm without consulting the FSM.
+    ScheduleFsmTimer(id);
+    return;
+  }
+  bgp::SessionFsm::Actions actions;
+  p.fsm.OnTimer(now, actions);
+  HandleFsmActions(id, actions);
+  // Connect retry: if the transport (link) is still there, re-initiate
+  // the handshake — the FSM only tracks deadlines, the "TCP connect" is
+  // ours to perform.
+  if (p.fsm.state() == bgp::SessionState::kConnect && p.link != nullptr &&
+      p.link->up()) {
+    OnTransportUp(id);
+  } else {
+    ScheduleFsmTimer(id);
+  }
 }
 
 void Router::OnSessionUp(bgp::PeerId id) {
@@ -607,7 +651,7 @@ void Router::Crash() {
     p.fsm.Stop(sched_.Now(), ignored);  // discard actions: a dead box is mute
     p.established = false;
     p.adj_rib_out.clear();
-    ++p.timer_generation;  // cancel outstanding timers
+    p.timer_armed = TimePoint::Max();  // cancel outstanding timer polls
   }
   // Drop every learned route; local (customer) routes survive on NVRAM.
   std::vector<bgp::PeerId> ids;

@@ -40,6 +40,7 @@
 #include "bgp/rib.h"
 #include "bgp/session.h"
 #include "bgp/update_packer.h"
+#include "netbase/probe_map.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -99,10 +100,13 @@ class Router : public LinkEndpoint {
   };
 
   // Tap invoked for every UPDATE received on an established session, before
-  // policy — this is the Routing Arbiter measurement point.
+  // policy — this is the Routing Arbiter measurement point. `wire` views the
+  // message's received wire bytes (valid only for the duration of the call),
+  // so the monitor's MRT logger can write them without re-encoding.
   using UpdateTap = std::function<void(TimePoint now, bgp::PeerId peer,
                                        bgp::Asn peer_asn,
-                                       const bgp::UpdateMessage& update)>;
+                                       const bgp::UpdateMessage& update,
+                                       std::span<const std::uint8_t> wire)>;
 
   Router(Scheduler& sched, RouterConfig config, std::uint64_t seed);
 
@@ -175,7 +179,12 @@ class Router : public LinkEndpoint {
     std::unordered_map<Prefix, bgp::PathAttributes> adj_rib_out;
     bool established = false;
     bool flush_scheduled = false;
-    std::uint64_t timer_generation = 0;
+    // Earliest pending FSM-timer poll, TimePoint::Max() when none. The FSM's
+    // OnTimer is a pure deadline poll, so instead of cancelling stale timers
+    // with a generation counter (one dead scheduler task per received
+    // message — millions at paper scale), the fired task re-checks
+    // NextDeadline() and re-arms itself when the deadline has moved on.
+    TimePoint timer_armed = TimePoint::Max();
 
     Peer(bgp::SessionConfig fsm_cfg, bgp::PackerConfig packer_cfg,
          std::uint64_t seed, bgp::Policy imp, bgp::Policy exp)
@@ -188,6 +197,7 @@ class Router : public LinkEndpoint {
   // --- session plumbing ---
   void HandleFsmActions(bgp::PeerId id, const bgp::SessionFsm::Actions& acts);
   void ScheduleFsmTimer(bgp::PeerId id);
+  void FsmTimerFired(bgp::PeerId id);
   void OnSessionUp(bgp::PeerId id);
   void OnSessionDown(bgp::PeerId id);
   void SendMessage(bgp::PeerId id, const bgp::Message& msg,
@@ -231,7 +241,14 @@ class Router : public LinkEndpoint {
   bgp::Rib rib_;
   bgp::Dampener dampener_;
   std::vector<Peer> peers_;
-  std::unordered_map<Prefix, bgp::Route> local_routes_;
+  // Locally-originated routes, flat: a dense vector in deterministic
+  // (insertion / swap-erase) order plus a probed index mapping prefix to
+  // slot. InternalReset's sweep order reaches the wire, so the container's
+  // iteration order must not depend on the platform's hash — the vector's
+  // order is a pure function of the Originate/WithdrawLocal call sequence.
+  std::vector<bgp::Route> local_routes_;
+  ProbeMap<Prefix, std::uint32_t> local_index_;  // kNoLocalRoute = erased
+  static constexpr std::uint32_t kNoLocalRoute = 0xFFFFFFFFu;
   bgp::PathAttributes originate_scratch_;  // reused by Originate (hot path)
   // Receive-path decode scratch: every inbound UPDATE decodes into this one
   // message, so its prefix/community buffers are allocated once per router

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace iri::bgp {
 namespace {
 
@@ -194,6 +196,89 @@ TEST(OutboundQueue, WithdrawAnnounceWithdrawNetsToWithdraw) {
   auto ops = q.Flush(T(30));
   ASSERT_EQ(ops.size(), 1u);
   EXPECT_TRUE(ops[0].IsWithdraw());
+}
+
+// The probed dedup index is cleared on every flush: a prefix re-enqueued in
+// the next window must get a fresh order slot reflecting the new window's
+// enqueue sequence, not its position in the previous one.
+TEST(OutboundQueue, IndexResetsAcrossFlushWindows) {
+  PackerConfig cfg;
+  cfg.discipline = TimerDiscipline::kUnjittered;
+  OutboundQueue q(cfg, 1);
+  q.Enqueue(T(1), {P("10.0.0.0/8"), Attrs({1})});
+  q.Enqueue(T(2), {P("11.0.0.0/8"), Attrs({2})});
+  (void)q.Flush(T(30));
+  // Second window: reversed enqueue order, plus an interleaved withdraw.
+  q.Enqueue(T(31), {P("11.0.0.0/8"), std::nullopt});
+  q.Enqueue(T(32), {P("10.0.0.0/8"), Attrs({3})});
+  q.Enqueue(T(33), {P("11.0.0.0/8"), Attrs({4})});
+  auto ops = q.Flush(T(60));
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].prefix, P("11.0.0.0/8"));  // new window's first enqueue
+  EXPECT_TRUE(ops[0].withdraw_preceded);
+  EXPECT_EQ(ops[1].prefix, P("10.0.0.0/8"));
+  EXPECT_FALSE(ops[1].withdraw_preceded);
+}
+
+// withdraw_preceded survives any number of in-window supersessions once a
+// withdrawal has been queued for the prefix: W-A-A must still transmit the
+// W,A train through a stateless sender.
+TEST(OutboundQueue, WithdrawPrecededStickyAcrossReenqueues) {
+  PackerConfig cfg;
+  cfg.discipline = TimerDiscipline::kUnjittered;
+  OutboundQueue q(cfg, 1);
+  q.Enqueue(T(1), {P("10.0.0.0/8"), std::nullopt});
+  q.Enqueue(T(2), {P("10.0.0.0/8"), Attrs({701})});
+  q.Enqueue(T(3), {P("10.0.0.0/8"), Attrs({1239})});
+  auto ops = q.Flush(T(30));
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_TRUE(ops[0].withdraw_preceded);
+  // ...but it does not leak into the next window.
+  q.Enqueue(T(31), {P("10.0.0.0/8"), Attrs({701})});
+  ops = q.Flush(T(60));
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_FALSE(ops[0].withdraw_preceded);
+}
+
+// Differential check of the probed index against a naive reference model
+// under a randomized re-enqueue/withdraw interleaving: flush order is the
+// first-enqueue order of each window and the net op is latest-wins,
+// regardless of how many prefixes collide in the flat table's probe chains.
+TEST(OutboundQueue, RandomInterleavingMatchesReferenceModel) {
+  PackerConfig cfg;
+  cfg.discipline = TimerDiscipline::kUnjittered;
+  cfg.interval = Duration::Seconds(30);
+  OutboundQueue q(cfg, 1);
+  Rng rng(2024);
+  for (int window = 0; window < 8; ++window) {
+    std::vector<RouteOp> reference;  // net ops in first-enqueue order
+    const double base = window * 30.0;
+    for (int i = 0; i < 200; ++i) {
+      RouteOp op;
+      op.prefix = Prefix(
+          IPv4Address(10, 0, static_cast<std::uint8_t>(rng.Below(48)), 0), 24);
+      if (rng.Below(3) != 0) {
+        op.attributes = Attrs({static_cast<Asn>(701 + rng.Below(4))});
+      }
+      q.Enqueue(T(base + 0.1 * i), op);
+      auto it = std::find_if(
+          reference.begin(), reference.end(),
+          [&op](const RouteOp& r) { return r.prefix == op.prefix; });
+      if (it == reference.end()) {
+        reference.push_back(op);
+      } else {
+        if (!op.IsWithdraw() && (it->IsWithdraw() || it->withdraw_preceded)) {
+          op.withdraw_preceded = true;
+        }
+        *it = op;
+      }
+    }
+    auto ops = q.Flush(T(base + 30.0));
+    ASSERT_EQ(ops.size(), reference.size()) << "window " << window;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      EXPECT_EQ(ops[i], reference[i]) << "window " << window << " op " << i;
+    }
+  }
 }
 
 }  // namespace

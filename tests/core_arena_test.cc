@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,52 @@ TEST(Arena, DayScopedScratchArenaIsBoundedAcrossDays) {
       << "spray buffers never touched the day arena";
   EXPECT_EQ(arena.num_cleanups(), 0u)
       << "spray buffers are trivially destructible; nothing should register";
+}
+
+// Reset-reuse poison check: day N+1's allocations land in the block that
+// day N dirtied (Reset() keeps the largest block hot). Fill day N's memory
+// with a poison pattern, Reset, and verify (a) the recycled block really is
+// reused — same address range, zero new reservation — and (b) objects
+// constructed over the poisoned bytes are fully initialized, i.e. nothing
+// in the arena or its clients assumes recycled storage is zeroed.
+TEST(Arena, ResetReusePoisonCheck) {
+  Arena arena(1024);
+  constexpr std::size_t kBytes = 512;
+  auto* day0 = static_cast<unsigned char*>(arena.Allocate(kBytes, 16));
+  std::memset(day0, 0xA5, kBytes);  // day N's stale garbage
+  const std::size_t reserved_before = arena.bytes_reserved();
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved_before)
+      << "Reset must recycle, not discard, the hot block";
+
+  auto* day1 = static_cast<unsigned char*>(arena.Allocate(kBytes, 16));
+  EXPECT_EQ(day1, day0) << "the recycled block should be bumped from its base";
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    ASSERT_EQ(day1[i], 0xA5) << "Allocate must hand back raw storage at " << i;
+  }
+
+  // Value-constructed objects over poisoned storage must not inherit it:
+  // the bump allocator returns raw bytes, construction is the client's job,
+  // and vector/New both perform it.
+  arena.Reset();
+  struct Counter {
+    std::uint64_t n = 0;
+    ~Counter() { n = ~std::uint64_t{0}; }
+  };
+  Counter* c = arena.New<Counter>();
+  EXPECT_EQ(c->n, 0u) << "constructor must run over recycled poisoned bytes";
+  EXPECT_EQ(arena.num_cleanups(), 1u);
+
+  std::vector<std::uint64_t, ArenaAllocator<std::uint64_t>> v{
+      ArenaAllocator<std::uint64_t>(&arena)};
+  v.resize(32);  // value-initialized through the allocator
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i], 0u) << "element " << i << " leaked poisoned storage";
+  }
+  arena.Reset();  // runs Counter's destructor; poison survives for next day
+  EXPECT_EQ(arena.num_cleanups(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,33 @@
+// Bad: a sharded tally that keeps its per-shard partitions in a
+// std::unordered_map keyed by shard id and merges them by iterating the map.
+// The merge order is the map's bucket order, so the combined answer — which
+// is what reaches digests (DESIGN.md §13) — depends on the hash layout. No
+// Snapshot/Digest name appears anywhere in the chain: only the per-shard
+// aggregation-root rule (Shard*::totals and friends are sinks) catches it.
+//
+// det-expect: unordered-in-output
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace iri::core {
+
+class FxShardedTally {
+ public:
+  void Bump(int shard, std::uint64_t n) { per_shard_[shard] += n; }
+  std::vector<std::uint64_t> totals() const;
+
+ private:
+  std::unordered_map<int, std::uint64_t> per_shard_;
+};
+
+std::vector<std::uint64_t> FxShardedTally::totals() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& kv : per_shard_) {
+    out.push_back(kv.second);
+  }
+  return out;
+}
+
+}  // namespace iri::core

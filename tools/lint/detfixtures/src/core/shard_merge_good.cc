@@ -1,0 +1,31 @@
+// Good: the same sharded tally with its partitions in a dense vector
+// indexed by shard id — the merge sweeps shards in fixed 0..N-1 order, a
+// pure function of the configuration, the way core::ShardedClassifier sums
+// its per-shard counters. Must produce zero findings (guards the per-shard
+// aggregation-root rule against false positives on ordered merges).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iri::core {
+
+class FxOrderedShardedTally {
+ public:
+  explicit FxOrderedShardedTally(std::size_t shards) : shard_slots_(shards) {}
+  void Bump(std::size_t shard, std::uint64_t n) { shard_slots_[shard] += n; }
+  std::vector<std::uint64_t> totals() const;
+
+ private:
+  std::vector<std::uint64_t> shard_slots_;
+};
+
+std::vector<std::uint64_t> FxOrderedShardedTally::totals() const {
+  std::vector<std::uint64_t> out;
+  for (const std::uint64_t n : shard_slots_) {
+    out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace iri::core
