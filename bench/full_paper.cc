@@ -24,9 +24,12 @@
 #include <cstring>
 #include <string>
 
+#include <vector>
+
 #include "bench_common.h"
 #include "bench_json.h"
 #include "core/classifier.h"
+#include "core/report.h"
 #include "workload/multi_exchange_runner.h"
 
 namespace {
@@ -49,8 +52,15 @@ int main(int argc, char** argv) {
   int shard_threads = 1;
   double ref_simday = 0;
   bool nine_months = false;
+  bool attribution = false;
+  std::string attribution_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strcmp(argv[i], "--attribution") == 0) attribution = true;
+    if (std::strncmp(argv[i], "--attribution=", 14) == 0) {
+      attribution = true;
+      attribution_path = argv[i] + 14;
+    }
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
     }
@@ -133,6 +143,23 @@ int main(int argc, char** argv) {
                 "(%.2fs -> %.2fs per simday)\n",
                 ref_simday / seconds_per_simday, ref_simday,
                 seconds_per_simday);
+  }
+  if (attribution) {
+    std::vector<obs::ExchangeAttribution> attrs;
+    attrs.reserve(result.exchanges.size());
+    for (const auto& run : result.exchanges) attrs.push_back(run.attribution);
+    std::fputs(core::FormatAttributionReport(attrs).c_str(), stdout);
+    if (!attribution_path.empty()) {
+      const std::string body = core::AttributionJson(attrs);
+      std::FILE* f = std::fopen(attribution_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", attribution_path.c_str());
+        return 1;
+      }
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", attribution_path.c_str());
+    }
   }
   if (nine_months) {
     const double campaign_days = 270;

@@ -6,13 +6,20 @@
 // (live collection + offline decode) in one program.
 //
 //   $ example_exchange_monitor [hours=6] [/tmp/exchange.mrt] [exchanges=2]
+//       [--attribution[=report.json]]
+//
+// --attribution prints the causal-attribution report (which injected fault
+// produced each pathology class, at what hop depth, with what blast radius)
+// and, with =PATH, also writes the machine-readable JSON.
 //
 // Worker threads come from IRI_PARALLEL_EXCHANGES (default: hardware
 // concurrency); the output is bit-identical at any thread count.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/monitor.h"
 #include "core/report.h"
@@ -23,9 +30,23 @@
 
 int main(int argc, char** argv) {
   using namespace iri;
-  const double hours = argc > 1 ? std::atof(argv[1]) : 6.0;
-  const std::string path = argc > 2 ? argv[2] : "/tmp/exchange.mrt";
-  const int exchanges = argc > 3 ? std::atoi(argv[3]) : 2;
+  bool attribution = false;
+  std::string attribution_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--attribution") == 0) {
+      attribution = true;
+    } else if (std::strncmp(argv[i], "--attribution=", 14) == 0) {
+      attribution = true;
+      attribution_path = argv[i] + 14;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const double hours = positional.size() > 0 ? std::atof(positional[0]) : 6.0;
+  const std::string path =
+      positional.size() > 1 ? positional[1] : "/tmp/exchange.mrt";
+  const int exchanges = positional.size() > 2 ? std::atoi(positional[2]) : 2;
 
   // --- live collection, one independent partition per exchange ---
   workload::MultiExchangeConfig cfg;
@@ -119,6 +140,24 @@ int main(int argc, char** argv) {
           result.metrics.GetGauge("health.periodicity.b_ppm").value()),
       static_cast<unsigned long long>(
           result.metrics.GetCounter("health.periodicity.alerts").value()));
+
+  if (attribution) {
+    std::vector<obs::ExchangeAttribution> attrs;
+    attrs.reserve(result.exchanges.size());
+    for (const auto& ex : result.exchanges) attrs.push_back(ex.attribution);
+    std::printf("\n%s", core::FormatAttributionReport(attrs).c_str());
+    if (!attribution_path.empty()) {
+      const std::string body = core::AttributionJson(attrs);
+      std::FILE* f = std::fopen(attribution_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", attribution_path.c_str());
+        return 1;
+      }
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", attribution_path.c_str());
+    }
+  }
 
   // --- offline replay, segment by segment ---
   // Exchanges reuse collector-local peer ids, so each exchange's segment

@@ -4,43 +4,63 @@
 
 namespace iri::bgp {
 
-std::vector<UpdateMessage> PackUpdates(std::span<const RouteOp> ops) {
+std::vector<UpdateMessage> PackUpdates(std::span<const RouteOp> ops,
+                                       std::vector<obs::CauseVec>* causes) {
   std::vector<UpdateMessage> out;
+  std::vector<obs::CauseVec> out_causes;  // parallel to out when requested
 
   // Withdrawals first, packed densely (matches observed router behaviour:
   // the paper's multi-million-withdrawal days arrived as packed UPDATEs).
+  // The cause sideband mirrors each message's withdrawn list op for op.
   UpdateMessage withdrawals;
+  obs::CauseVec withdrawal_causes;
   for (const RouteOp& op : ops) {
     if (!op.IsWithdraw()) continue;
     withdrawals.withdrawn.push_back(op.prefix);
+    if (causes != nullptr) withdrawal_causes.push_back(op.cause);
     if (EstimateUpdateSize(withdrawals) > kMaxMessageSize - 64) {
       out.push_back(std::move(withdrawals));
       withdrawals = {};
+      if (causes != nullptr) {
+        out_causes.push_back(std::move(withdrawal_causes));
+        withdrawal_causes = {};
+      }
     }
   }
-  if (!withdrawals.withdrawn.empty()) out.push_back(std::move(withdrawals));
+  if (!withdrawals.withdrawn.empty()) {
+    out.push_back(std::move(withdrawals));
+    if (causes != nullptr) out_causes.push_back(std::move(withdrawal_causes));
+  }
 
   // Announcements grouped by identical attribute sets. Order within a group
   // follows arrival order; groups are emitted in order of first appearance.
+  // Grouping reorders ops relative to the input, so the sideband is built
+  // here, one slot per NLRI prefix, in the same order.
   std::vector<UpdateMessage> groups;
+  std::vector<obs::CauseVec> group_causes;
   for (const RouteOp& op : ops) {
     if (op.IsWithdraw()) continue;
-    UpdateMessage* group = nullptr;
-    for (auto& g : groups) {
-      if (g.attributes == *op.attributes &&
-          EstimateUpdateSize(g) < kMaxMessageSize - 64) {
-        group = &g;
+    std::size_t group_index = groups.size();
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i].attributes == *op.attributes &&
+          EstimateUpdateSize(groups[i]) < kMaxMessageSize - 64) {
+        group_index = i;
         break;
       }
     }
-    if (group == nullptr) {
+    if (group_index == groups.size()) {
       groups.push_back({});
       groups.back().attributes = *op.attributes;
-      group = &groups.back();
+      if (causes != nullptr) group_causes.emplace_back();
     }
-    group->nlri.push_back(op.prefix);
+    groups[group_index].nlri.push_back(op.prefix);
+    if (causes != nullptr) group_causes[group_index].push_back(op.cause);
   }
-  for (auto& g : groups) out.push_back(std::move(g));
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    out.push_back(std::move(groups[i]));
+    if (causes != nullptr) out_causes.push_back(std::move(group_causes[i]));
+  }
+  if (causes != nullptr) *causes = std::move(out_causes);
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "netbase/probe_map.h"
 #include "netbase/rng.h"
 #include "netbase/time.h"
+#include "obs/provenance.h"
 
 namespace iri::bgp {
 
@@ -37,16 +38,32 @@ struct RouteOp {
   // implicitly withdrawn prefix" followed by the current route — the W,A
   // trains that put half of Figure 8's mass in the 30 s bin.
   bool withdraw_preceded = false;
+  // Provenance sideband: the injected cause this op descends from. Rides the
+  // queue slot under latest-wins coalescing (the surviving op's cause wins,
+  // like its attributes) and is excluded from equality — two ops that would
+  // put the same bytes on the wire compare equal whatever their ancestry.
+  // Zero bytes when provenance is compiled out.
+  [[no_unique_address]] obs::CauseTag cause{};
 
   bool IsWithdraw() const { return !attributes.has_value(); }
 
-  friend bool operator==(const RouteOp&, const RouteOp&) = default;
+  friend bool operator==(const RouteOp& a, const RouteOp& b) {
+    return a.prefix == b.prefix && a.attributes == b.attributes &&
+           a.withdraw_preceded == b.withdraw_preceded;
+  }
 };
 
 // Packs a batch of route ops into wire-legal UPDATE messages: withdrawals
 // are combined, announcements are grouped by identical attribute sets, and
-// messages are split below kMaxMessageSize.
-std::vector<UpdateMessage> PackUpdates(std::span<const RouteOp> ops);
+// messages are split below kMaxMessageSize. When `causes` is non-null it
+// receives one CauseVec per output message, each aligned with that
+// message's wire event order (withdrawn prefixes, then NLRI) — the grouping
+// reorders ops, so the sideband must be built here to stay aligned.
+std::vector<UpdateMessage> PackUpdates(std::span<const RouteOp> ops,
+                                       std::vector<obs::CauseVec>* causes);
+inline std::vector<UpdateMessage> PackUpdates(std::span<const RouteOp> ops) {
+  return PackUpdates(ops, nullptr);
+}
 
 enum class TimerDiscipline : std::uint8_t { kUnjittered, kJittered };
 

@@ -105,6 +105,15 @@ ShardVerdict Classifier::ClassifyVerdict(const UpdateEvent& ev) {
              "classifier produced an out-of-range category");
   ++totals_[static_cast<std::size_t>(out.category)];
   ++events_;
+#if defined(IRI_PROVENANCE_ENABLED) && IRI_PROVENANCE_ENABLED
+  // Attribution: record the verdict against the event's root cause. A cause
+  // "touches" this route the first time one of its descendants reaches it
+  // (blast radius counts routes, not events).
+  const bool first_touch = ev.cause.id != st.last_cause_id;
+  prov_.Record(static_cast<std::size_t>(out.category), ev.cause, ev.time,
+               first_touch);
+  st.last_cause_id = ev.cause.id;
+#endif
   // Conservation: the seven bins partition the event stream exactly. A
   // drift here would silently reshape Figure 2.
   IRI_DCHECK(std::accumulate(totals_.begin(), totals_.end(),
@@ -193,6 +202,10 @@ std::size_t ShardedClassifier::TrackedRoutes() const {
   std::size_t sum = 0;
   for (const auto& shard : shards_) sum += shard->TrackedRoutes();
   return sum;
+}
+
+void ShardedClassifier::MergeProvenanceInto(obs::ShardProvenance& out) const {
+  for (const auto& shard : shards_) out.Merge(shard->provenance());
 }
 
 void ShardedClassifier::Reset() {

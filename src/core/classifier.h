@@ -34,6 +34,7 @@
 #include "core/event.h"
 #include "netbase/probe_map.h"
 #include "netbase/shard.h"
+#include "obs/provenance.h"
 
 namespace iri::core {
 
@@ -118,6 +119,7 @@ class Classifier {
     state_.Clear();
     totals_.fill(0);
     events_ = 0;
+    prov_ = obs::ShardProvenance{};
     // attrs_ is deliberately retained: it is a pure value cache (ids are
     // only compared against ids from the same table), and the same streams
     // tend to recur across resets.
@@ -126,6 +128,12 @@ class Classifier {
   // The hash-consed attribute-set table backing the per-route state.
   // Exposed for tests and the full-paper bench's memory report.
   const bgp::PathAttributesTable& attrs() const { return attrs_; }
+
+  // Attribution aggregate: pathology class x root cause kind x hop depth,
+  // fed at verdict time from each event's provenance tag. Empty when
+  // provenance is compiled out. Category indices fit ShardProvenance's
+  // class axis (kNumCategories <= kMaxClasses, checked below).
+  const obs::ShardProvenance& provenance() const { return prov_; }
 
  private:
   enum class RouteStatus : std::uint8_t { kAnnounced, kWithdrawn };
@@ -145,6 +153,11 @@ class Classifier {
     // interned copy instead of a hash + probe of the intern table. Pure
     // memoization: the id returned is the one Intern would have found.
     bgp::AttrSetId prev_attr_id = bgp::kInvalidAttrSetId;
+#if defined(IRI_PROVENANCE_ENABLED) && IRI_PROVENANCE_ENABLED
+    // Last cause id seen on this route — blast-radius dedup: a cause's
+    // `prefixes` counts (prefix, peer) routes it newly reached, not events.
+    std::uint32_t last_cause_id = 0;
+#endif
   };
 
   ProbeMap<bgp::PrefixPeer, RouteState> state_;
@@ -156,6 +169,8 @@ class Classifier {
   bgp::AttrSetId default_attr_id_;
   std::array<std::uint64_t, kNumCategories> totals_{};
   std::uint64_t events_ = 0;
+  static_assert(kNumCategories <= obs::ShardProvenance::kMaxClasses);
+  obs::ShardProvenance prov_;
 };
 
 // N Classifiers behind a stable prefix->shard map (netbase/shard.h).
@@ -208,6 +223,11 @@ class ShardedClassifier {
   const std::array<std::uint64_t, kNumCategories>& totals() const;
   std::uint64_t total_events() const;
   std::size_t TrackedRoutes() const;
+
+  // Sums the per-shard attribution aggregates into `out` in fixed shard
+  // order 0..N-1 (ShardProvenance::Merge is an iri_det aggregation sink —
+  // same contract as totals()).
+  void MergeProvenanceInto(obs::ShardProvenance& out) const;
 
   // Shard access for tests and the memory report.
   const Classifier& shard(int i) const {

@@ -12,6 +12,7 @@
 #include "bgp/message.h"
 #include "bgp/route.h"
 #include "netbase/time.h"
+#include "obs/provenance.h"
 
 namespace iri::core {
 
@@ -22,6 +23,9 @@ struct UpdateEvent {
   bool is_withdraw = false;
   Prefix prefix;
   bgp::PathAttributes attributes;  // meaningful only when !is_withdraw
+  // Provenance sideband: the injected root cause this event descends from
+  // (null for MRT replay and untagged senders; zero bytes when compiled out).
+  [[no_unique_address]] obs::CauseTag cause{};
 
   bgp::PrefixPeer Key() const { return {prefix, peer}; }
 };
@@ -38,11 +42,15 @@ inline std::size_t ExplodeUpdateReuse(TimePoint now, bgp::PeerId peer,
                                       bgp::Asn peer_asn,
                                       const bgp::UpdateMessage& update,
                                       std::vector<UpdateEvent>& out,
-                                      std::size_t start = 0) {
+                                      std::size_t start = 0,
+                                      const obs::CauseVec& causes = {}) {
   static const bgp::PathAttributes kEmptyAttrs;
   const std::size_t total = update.withdrawn.size() + update.nlri.size();
   if (out.size() < start + total) out.resize(start + total);
   std::size_t n = start;
+  // The cause sideband indexes wire event order: withdrawn, then NLRI —
+  // exactly the order this loop pair emits.
+  std::size_t ci = 0;
   for (const Prefix& w : update.withdrawn) {
     UpdateEvent& ev = out[n++];
     ev.time = now;
@@ -53,6 +61,8 @@ inline std::size_t ExplodeUpdateReuse(TimePoint now, bgp::PeerId peer,
     // Copy-assign from the shared empty set (not a fresh temporary) so the
     // slot's buffer capacity survives for the next announce to land in.
     ev.attributes = kEmptyAttrs;
+    ev.cause = ci < causes.size() ? causes[ci] : obs::CauseTag{};
+    ++ci;
   }
   for (const Prefix& p : update.nlri) {
     UpdateEvent& ev = out[n++];
@@ -62,6 +72,8 @@ inline std::size_t ExplodeUpdateReuse(TimePoint now, bgp::PeerId peer,
     ev.is_withdraw = false;
     ev.prefix = p;
     ev.attributes = update.attributes;
+    ev.cause = ci < causes.size() ? causes[ci] : obs::CauseTag{};
+    ++ci;
   }
   return n - start;
 }

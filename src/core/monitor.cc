@@ -12,8 +12,9 @@ void ExchangeMonitor::Attach(sim::Router& route_server) {
   route_server.SetUpdateTap(
       [this](TimePoint now, bgp::PeerId peer, bgp::Asn peer_asn,
              const bgp::UpdateMessage& update,
-             std::span<const std::uint8_t> wire) {
-        Ingest(now, peer, peer_asn, update, wire);
+             std::span<const std::uint8_t> wire,
+             const obs::CauseVec& causes) {
+        Ingest(now, peer, peer_asn, update, wire, causes);
       });
 }
 
@@ -96,7 +97,8 @@ void ExchangeMonitor::AttachTimeSeries(obs::SeriesFlusher* series,
 void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
                              bgp::Asn peer_asn,
                              const bgp::UpdateMessage& update,
-                             std::span<const std::uint8_t> wire) {
+                             std::span<const std::uint8_t> wire,
+                             const obs::CauseVec& causes) {
   obs::ScopedTimer timer(&ingest_site_);
   ++messages_seen_;
   if (messages_metric_ != nullptr) messages_metric_->Add(1);
@@ -117,7 +119,7 @@ void ExchangeMonitor::Ingest(TimePoint now, bgp::PeerId peer,
   // already queued; slots recycle their attribute buffers) and feed every
   // category-independent consumer at tap time.
   const std::size_t n = ExplodeUpdateReuse(now, peer, peer_asn, update,
-                                           pending_, pending_count_);
+                                           pending_, pending_count_, causes);
   timer.AddItems(n);
   if (events_per_msg_series_ != nullptr) {
     events_per_msg_series_->Observe(static_cast<std::int64_t>(n));

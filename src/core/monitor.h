@@ -99,9 +99,14 @@ class ExchangeMonitor {
   // (zero-copy) instead of re-encoding `update`. Encode(Decode(x)) == x is
   // pinned by the wire-roundtrip fuzz suite, so the logged bytes are
   // identical either way.
+  // `causes` is the message's provenance sideband (withdrawn-then-NLRI
+  // order; empty for replay and untagged senders) — it flows into the
+  // exploded events and from there into the classifier's attribution
+  // matrix, never into the MRT bytes.
   void Ingest(TimePoint now, bgp::PeerId peer, bgp::Asn peer_asn,
               const bgp::UpdateMessage& update,
-              std::span<const std::uint8_t> wire = {});
+              std::span<const std::uint8_t> wire = {},
+              const obs::CauseVec& causes = {});
 
   // Replays an MRT log through the monitor (offline analysis path).
   // Returns the number of UPDATE messages ingested. Drains on return.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 
 namespace iri::obs {
 
@@ -116,7 +117,28 @@ void Registry::Merge(const Registry& other) {
 std::string Registry::SnapshotText(bool include_wall_clock,
                                    const std::string& prefix) const {
   std::string out;
+  // A profile site that never fired is pure registration noise: suppress the
+  // whole `profile.<site>.{calls,items,wall_ns}` triple when calls == 0.
+  // instruments_ is name-ordered, so the companions of a suppressed
+  // `.calls` are the immediately following entries sharing its stem.
+  std::string suppressed_stem;
+  constexpr std::string_view kCalls = ".calls";
   for (const auto& [name, inst] : instruments_) {
+    if (!suppressed_stem.empty()) {
+      if (name.compare(0, suppressed_stem.size(), suppressed_stem) == 0) {
+        const std::string_view leaf(name.c_str() + suppressed_stem.size());
+        if (leaf == "items" || leaf == "wall_ns") continue;
+      }
+      suppressed_stem.clear();
+    }
+    if (inst->kind == Instrument::Kind::kCounter &&
+        inst->counter.value() == 0 && name.size() > kCalls.size() &&
+        name.compare(0, 8, "profile.") == 0 &&
+        name.compare(name.size() - kCalls.size(), kCalls.size(), kCalls) ==
+            0) {
+      suppressed_stem.assign(name, 0, name.size() - kCalls.size() + 1);
+      continue;
+    }
     if (!include_wall_clock && inst->stability == Stability::kWallClock) {
       continue;
     }

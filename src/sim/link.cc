@@ -19,6 +19,7 @@ void Link::AttachObservability(obs::Registry* registry, obs::Tracer* tracer,
 void Link::Restore() {
   if (up_) return;
   up_ = true;
+  if (prov_ != nullptr) transition_cause_ = prov_->Current();
   if (restores_) restores_->Add(1);
   IRI_TRACE(tracer_, sched_.Now(), "link_restore", .Str("link", name_));
   if (a_.endpoint) a_.endpoint->OnTransportUp(a_.peer_id);
@@ -29,6 +30,7 @@ void Link::Fail() {
   if (!up_) return;
   up_ = false;
   ++epoch_;  // orphan anything still in flight
+  if (prov_ != nullptr) transition_cause_ = prov_->Current();
   if (fails_) fails_->Add(1);
   IRI_TRACE(tracer_, sched_.Now(), "link_fail",
             .Str("link", name_).U64("epoch", epoch_));
@@ -36,7 +38,8 @@ void Link::Fail() {
   if (b_.endpoint) b_.endpoint->OnTransportDown(b_.peer_id);
 }
 
-void Link::Send(const LinkEndpoint* from, std::vector<std::uint8_t> bytes) {
+void Link::Send(const LinkEndpoint* from, std::vector<std::uint8_t> bytes,
+                obs::CauseVec causes) {
   if (!up_) return;
   const Side& dst = (from == a_.endpoint) ? b_ : a_;
   if (dst.endpoint == nullptr) return;
@@ -47,9 +50,10 @@ void Link::Send(const LinkEndpoint* from, std::vector<std::uint8_t> bytes) {
     bytes_metric_->Add(bytes.size());
   }
   const std::uint64_t epoch = epoch_;
-  sched_.After(latency_, [this, dst, epoch, data = std::move(bytes)]() mutable {
+  sched_.After(latency_, [this, dst, epoch, data = std::move(bytes),
+                          tags = std::move(causes)]() mutable {
     if (epoch != epoch_ || !up_) return;  // carrier dropped in flight
-    dst.endpoint->OnWireData(dst.peer_id, std::move(data));
+    dst.endpoint->OnWireData(dst.peer_id, std::move(data), std::move(tags));
   });
 }
 

@@ -16,6 +16,7 @@
 #include "netbase/rng.h"
 #include "netbase/time.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "sim/scheduler.h"
 
@@ -27,8 +28,16 @@ class LinkEndpoint {
   virtual ~LinkEndpoint() = default;
   virtual void OnTransportUp(std::uint32_t local_peer_id) = 0;
   virtual void OnTransportDown(std::uint32_t local_peer_id) = 0;
+  // `causes` is the provenance sideband for the message's events (withdrawn
+  // then NLRI order); empty when the sender attached none.
   virtual void OnWireData(std::uint32_t local_peer_id,
-                          std::vector<std::uint8_t> bytes) = 0;
+                          std::vector<std::uint8_t> bytes,
+                          obs::CauseVec causes) = 0;
+  // Convenience for callers without a sideband (tests, manual injection).
+  void OnWireData(std::uint32_t local_peer_id,
+                  std::vector<std::uint8_t> bytes) {
+    OnWireData(local_peer_id, std::move(bytes), obs::CauseVec{});
+  }
 };
 
 class Link {
@@ -46,6 +55,16 @@ class Link {
   void AttachObservability(obs::Registry* registry, obs::Tracer* tracer,
                            std::string name);
 
+  // Attaches the partition's provenance context: Fail/Restore capture the
+  // ambient cause active at the transition, so session events the FSM
+  // derives from this transport (downs, re-establishment dumps) can inherit
+  // it. Null detaches.
+  void SetProvenance(obs::ProvenanceContext* prov) { prov_ = prov; }
+
+  // The cause captured at the most recent Fail/Restore (null when the
+  // transition happened outside any cause scope, e.g. bootstrap).
+  obs::CauseTag transition_cause() const { return transition_cause_; }
+
   bool up() const { return up_; }
   std::uint64_t messages_carried() const { return messages_carried_; }
   std::uint64_t bytes_carried() const { return bytes_carried_; }
@@ -59,8 +78,10 @@ class Link {
   // Sends bytes from endpoint `from` to the other side, delivered after the
   // propagation latency if the link is still up at delivery time (a fail
   // between send and delivery drops the data, as TCP segments in flight are
-  // lost when carrier drops).
-  void Send(const LinkEndpoint* from, std::vector<std::uint8_t> bytes);
+  // lost when carrier drops). `causes` rides in the delivery (a sideband
+  // next to the wire bytes, never on them — MRT logs are unchanged).
+  void Send(const LinkEndpoint* from, std::vector<std::uint8_t> bytes,
+            obs::CauseVec causes = {});
 
  private:
   struct Side {
@@ -77,6 +98,8 @@ class Link {
   std::uint64_t bytes_carried_ = 0;
   std::string name_;
   obs::Tracer* tracer_ = nullptr;
+  obs::ProvenanceContext* prov_ = nullptr;
+  [[no_unique_address]] obs::CauseTag transition_cause_;
   obs::Counter* fails_ = nullptr;
   obs::Counter* restores_ = nullptr;
   obs::Counter* messages_metric_ = nullptr;

@@ -74,6 +74,9 @@ void Router::AttachObservability(obs::Registry* registry,
 
 void Router::Originate(const bgp::Route& route) {
   if (crashed_) return;
+  // Injection entry point: ops emitted for this change carry the ambient
+  // cause (depth 0 — this is the router where the fault was injected).
+  const obs::CauseTag cause = AmbientCause();
   // Border dampening (RFC 2439 deployed at the provider edge): flapping
   // customer routes accumulate penalty and, once suppressed, are installed
   // locally but NOT advertised until the reuse timer releases them.
@@ -110,20 +113,22 @@ void Router::Originate(const bgp::Route& route) {
     const TimePoint reuse =
         dampener_.ReuseTime({route.prefix, bgp::kLocalPeer}, sched_.Now());
     const Prefix prefix = route.prefix;
-    sched_.At(reuse + Duration::Seconds(1), [this, prefix] {
+    sched_.At(reuse + Duration::Seconds(1), [this, prefix, cause] {
       if (crashed_ || !HasLocalRoute(prefix)) return;
       if (dampener_.IsSuppressed({prefix, bgp::kLocalPeer}, sched_.Now())) {
         return;  // re-flapped in the meantime; a later release is scheduled
       }
-      PropagateChange(prefix);
+      // The delayed release still descends from the suppressed flap's cause.
+      PropagateChange(prefix, cause);
     });
     return;
   }
-  if (change.best_changed) PropagateChange(route.prefix);
+  if (change.best_changed) PropagateChange(route.prefix, cause);
 }
 
 void Router::WithdrawLocal(const Prefix& prefix) {
   if (crashed_) return;
+  const obs::CauseTag cause = AmbientCause();
   if (config_.enable_dampening) {
     dampener_.OnWithdraw({prefix, bgp::kLocalPeer}, sched_.Now());
   }
@@ -143,9 +148,9 @@ void Router::WithdrawLocal(const Prefix& prefix) {
   }
   const bgp::RibChange change = rib_.Withdraw(bgp::kLocalPeer, prefix);
   if (config_.stateless_bgp && rib_.Best(prefix) == nullptr) {
-    BroadcastWithdraw(prefix);
+    BroadcastWithdraw(prefix, cause);
   }
-  if (change.best_changed) PropagateChange(prefix);
+  if (change.best_changed) PropagateChange(prefix, cause);
 }
 
 bool Router::HasLocalRoute(const Prefix& prefix) const {
@@ -155,7 +160,8 @@ bool Router::HasLocalRoute(const Prefix& prefix) const {
 
 void Router::SprayWithdrawals(std::span<const Prefix> prefixes) {
   if (crashed_ || !config_.stateless_bgp) return;
-  for (const Prefix& p : prefixes) BroadcastWithdraw(p);
+  const obs::CauseTag cause = AmbientCause();
+  for (const Prefix& p : prefixes) BroadcastWithdraw(p, cause);
 }
 
 void Router::InternalReset(double dirty_fraction) {
@@ -171,10 +177,11 @@ void Router::InternalReset(double dirty_fraction) {
   // prefixes export policy never announced (WWDup). The sweep order (which
   // reaches the wire) is the dense vector's insertion/swap-erase order — a
   // pure function of the call history, not of any hash layout.
+  const obs::CauseTag cause = AmbientCause();
   const std::size_t n = local_routes_.size();
   for (std::size_t i = 0; i < n; ++i) {
     if (dirty_fraction < 1.0 && rng_.Uniform() >= dirty_fraction) continue;
-    PropagateChange(local_routes_[i].prefix);
+    PropagateChange(local_routes_[i].prefix, cause);
   }
 }
 
@@ -211,7 +218,8 @@ void Router::OnTransportDown(std::uint32_t peer) {
   ScheduleFsmTimer(peer);
 }
 
-void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) {
+void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes,
+                        obs::CauseVec causes) {
   if (crashed_) return;
   Peer& p = peers_[peer];
   ++stats_.messages_rx;
@@ -273,8 +281,8 @@ void Router::OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) {
   if (was_established && p.established && update != nullptr) {
     ++stats_.updates_rx;
     if (metrics_.updates_rx) metrics_.updates_rx->Add(1);
-    if (tap_) tap_(sched_.Now(), peer, p.remote_asn, *update, bytes);
-    ProcessUpdate(peer, *update);
+    if (tap_) tap_(sched_.Now(), peer, p.remote_asn, *update, bytes, causes);
+    ProcessUpdate(peer, *update, causes);
   }
 }
 
@@ -359,24 +367,42 @@ void Router::FsmTimerFired(bgp::PeerId id) {
   }
 }
 
+obs::CauseTag Router::SessionCause(bgp::PeerId id,
+                                   obs::CauseKind emergent_kind) {
+  obs::CauseTag cause = AmbientCause();
+  if (cause.IsNull() && peers_[id].link != nullptr) {
+    // The FSM derived this event from a link transition (possibly after the
+    // OPEN handshake latency): inherit the cause captured at the transition.
+    cause = peers_[id].link->transition_cause();
+  }
+  if (cause.IsNull() && prov_ != nullptr) {
+    // No injected cause in scope — an emergent protocol event (hold-timer
+    // expiry under load, organic re-establishment) becomes its own root.
+    cause = prov_->Allocate(emergent_kind, sched_.Now());
+  }
+  return cause;
+}
+
 void Router::OnSessionUp(bgp::PeerId id) {
-  FullDump(id);
+  FullDump(id, SessionCause(id, obs::CauseKind::kSessionRedump));
 }
 
 void Router::OnSessionDown(bgp::PeerId id) {
   Peer& p = peers_[id];
   p.adj_rib_out.clear();
+  const obs::CauseTag cause =
+      SessionCause(id, obs::CauseKind::kSessionReset);
   // Everything learned from this peer is gone: a genuine topology change.
   for (const Prefix& prefix : rib_.ClearPeer(id)) {
     if (config_.stateless_bgp && rib_.Best(prefix) == nullptr) {
-      BroadcastWithdraw(prefix);
+      BroadcastWithdraw(prefix, cause);
     }
-    PropagateChange(prefix);
+    PropagateChange(prefix, cause);
   }
 }
 
 void Router::SendMessage(bgp::PeerId id, const bgp::Message& msg,
-                         bool priority) {
+                         bool priority, obs::CauseVec causes) {
   Peer& p = peers_[id];
   if (p.link == nullptr || !p.link->up()) return;
   ++stats_.messages_tx;
@@ -398,11 +424,12 @@ void Router::SendMessage(bgp::PeerId id, const bgp::Message& msg,
   // that starves KEEPALIVEs on busy route-caching routers.
   const TimePoint when = priority ? now : std::max(now, busy_until_);
   if (when <= now) {
-    p.link->Send(this, std::move(bytes));
+    p.link->Send(this, std::move(bytes), std::move(causes));
   } else {
     Link* link = p.link;
-    sched_.At(when, [this, link, data = std::move(bytes)]() mutable {
-      link->Send(this, std::move(data));
+    sched_.At(when, [this, link, data = std::move(bytes),
+                     tags = std::move(causes)]() mutable {
+      link->Send(this, std::move(data), std::move(tags));
     });
   }
 }
@@ -423,11 +450,30 @@ bool Router::DampenAnnounce(bgp::PeerId from, const Prefix& nlri,
   return true;
 }
 
-void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update) {
+void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update,
+                           const obs::CauseVec& causes) {
   Peer& p = peers_[from];
-  std::vector<Prefix> changed;
+  // Prefixes whose best route changed, paired with the (depth-bumped) cause
+  // of the wire event that changed them. The tag is zero bytes when
+  // provenance is compiled out, so this is the old vector<Prefix>.
+  struct ChangedEntry {
+    Prefix prefix;
+    [[no_unique_address]] obs::CauseTag cause{};
+  };
+  std::vector<ChangedEntry> changed;
+
+  // The sideband is aligned with wire event order: withdrawn, then NLRI.
+  // Re-propagating a received event moves it one hop further from its root.
+  std::size_t ev = 0;
+  const auto next_cause = [&causes, &ev]() -> obs::CauseTag {
+    const obs::CauseTag tag =
+        ev < causes.size() ? causes[ev] : obs::CauseTag{};
+    ++ev;
+    return tag.Bumped();
+  };
 
   for (const Prefix& w : update.withdrawn) {
+    const obs::CauseTag cause = next_cause();
     ++stats_.prefixes_withdrawn_rx;
     if (config_.enable_dampening) {
       dampener_.OnWithdraw({w, from}, sched_.Now());
@@ -436,9 +482,9 @@ void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update) {
     if (config_.stateless_bgp && rib_.Best(w) == nullptr) {
       // Any withdrawal — even for a route we never carried — is sprayed at
       // every peer: the implementation keeps no record of what it told whom.
-      BroadcastWithdraw(w);
+      BroadcastWithdraw(w, cause);
     }
-    if (change.best_changed) changed.push_back(w);
+    if (change.best_changed) changed.push_back({w, cause});
   }
 
   // An identity import policy (the common case) lets every NLRI prefix of
@@ -446,6 +492,7 @@ void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update) {
   // Route copy, and the RIB copy-assigns into recycled candidate storage.
   const bool identity_import = p.import_policy.IsIdentity();
   for (const Prefix& nlri : update.nlri) {
+    const obs::CauseTag cause = next_cause();
     ++stats_.prefixes_announced_rx;
     if (update.attributes.as_path.Contains(config_.asn)) {
       ++stats_.loops_rejected;
@@ -457,32 +504,38 @@ void Router::ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update) {
         // Denied by policy: make sure no earlier route from this peer
         // lingers.
         const bgp::RibChange change = rib_.Withdraw(from, nlri);
-        if (change.best_changed) changed.push_back(nlri);
+        if (change.best_changed) changed.push_back({nlri, cause});
         continue;
       }
       if (config_.enable_dampening &&
           DampenAnnounce(from, nlri, route.attributes)) {
-        if (rib_.Withdraw(from, nlri).best_changed) changed.push_back(nlri);
+        if (rib_.Withdraw(from, nlri).best_changed) {
+          changed.push_back({nlri, cause});
+        }
         continue;
       }
       const bgp::RibChange change = rib_.Announce(from, std::move(route));
-      if (change.best_changed) changed.push_back(nlri);
+      if (change.best_changed) changed.push_back({nlri, cause});
       continue;
     }
     if (config_.enable_dampening &&
         DampenAnnounce(from, nlri, update.attributes)) {
-      if (rib_.Withdraw(from, nlri).best_changed) changed.push_back(nlri);
+      if (rib_.Withdraw(from, nlri).best_changed) {
+        changed.push_back({nlri, cause});
+      }
       continue;
     }
     const bgp::RibChange change =
         rib_.Announce(from, nlri, update.attributes);
-    if (change.best_changed) changed.push_back(nlri);
+    if (change.best_changed) changed.push_back({nlri, cause});
   }
 
-  for (const Prefix& prefix : changed) PropagateChange(prefix);
+  for (const ChangedEntry& entry : changed) {
+    PropagateChange(entry.prefix, entry.cause);
+  }
 }
 
-void Router::PropagateChange(const Prefix& prefix) {
+void Router::PropagateChange(const Prefix& prefix, obs::CauseTag cause) {
   if (config_.no_reexport) return;
   // One Best() lookup for the whole peer fan-out.
   const bgp::Candidate* best = rib_.Best(prefix);
@@ -492,17 +545,17 @@ void Router::PropagateChange(const Prefix& prefix) {
     std::optional<bgp::PathAttributes> exported;
     if (best != nullptr) exported = ExportCandidate(p, prefix, *best);
     if (exported) {
-      EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported)});
+      EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported), false, cause});
     } else {
-      EnqueueOp(id, bgp::RouteOp{prefix, std::nullopt});
+      EnqueueOp(id, bgp::RouteOp{prefix, std::nullopt, false, cause});
     }
   }
 }
 
-void Router::BroadcastWithdraw(const Prefix& prefix) {
+void Router::BroadcastWithdraw(const Prefix& prefix, obs::CauseTag cause) {
   for (bgp::PeerId id = 0; id < peers_.size(); ++id) {
     if (!peers_[id].established) continue;
-    EnqueueOp(id, bgp::RouteOp{prefix, std::nullopt});
+    EnqueueOp(id, bgp::RouteOp{prefix, std::nullopt, false, cause});
   }
 }
 
@@ -556,9 +609,11 @@ void Router::FlushPeer(bgp::PeerId id) {
       // No Adj-RIB-Out: everything goes out, duplicates included. A
       // within-window withdraw..announce pair is transmitted as W then A
       // (the implementation sends withdrawals for every withdrawn prefix,
-      // then the current state).
+      // then the current state). The expanded W inherits the surviving op's
+      // cause — the whole train descends from the same fault.
       if (op.withdraw_preceded) {
-        final_ops.push_back(bgp::RouteOp{op.prefix, std::nullopt});
+        final_ops.push_back(
+            bgp::RouteOp{op.prefix, std::nullopt, false, op.cause});
       }
       final_ops.push_back(std::move(op));
       continue;
@@ -578,16 +633,24 @@ void Router::FlushPeer(bgp::PeerId id) {
   }
   if (final_ops.empty()) return;
 
-  for (auto& msg : bgp::PackUpdates(final_ops)) {
+  // The packer reorders ops (attribute grouping), so it builds the per-
+  // message cause sideband itself; skip the work entirely when compiled out.
+  std::vector<obs::CauseVec> msg_causes;
+  std::vector<bgp::UpdateMessage> msgs = bgp::PackUpdates(
+      final_ops, obs::kProvenanceEnabled ? &msg_causes : nullptr);
+  for (std::size_t m = 0; m < msgs.size(); ++m) {
+    const bgp::UpdateMessage& msg = msgs[m];
     // Marshaling cost per outbound prefix.
     ChargeCpu(config_.cost_per_prefix *
               (0.25 * static_cast<double>(msg.withdrawn.size() + msg.nlri.size())));
     if (crashed_) return;
-    SendMessage(id, msg);
+    SendMessage(id, msg, /*priority=*/false,
+                m < msg_causes.size() ? std::move(msg_causes[m])
+                                      : obs::CauseVec{});
   }
 }
 
-void Router::FullDump(bgp::PeerId id) {
+void Router::FullDump(bgp::PeerId id, obs::CauseTag cause) {
   if (config_.no_reexport) return;
   // A fresh session receives the entire Loc-RIB ("large state dump
   // transmissions" when a flapping session re-establishes). Batched walk:
@@ -601,7 +664,7 @@ void Router::FullDump(bgp::PeerId id) {
     auto exported = ExportCandidate(p, prefix, best);
     if (exported) {
       ++exported_count;
-      EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported)});
+      EnqueueOp(id, bgp::RouteOp{prefix, std::move(exported), false, cause});
     }
   });
   IRI_TRACE(tracer_, sched_.Now(), "redump_end",

@@ -43,6 +43,7 @@
 #include "netbase/probe_map.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "sim/link.h"
 #include "sim/scheduler.h"
@@ -102,11 +103,14 @@ class Router : public LinkEndpoint {
   // Tap invoked for every UPDATE received on an established session, before
   // policy — this is the Routing Arbiter measurement point. `wire` views the
   // message's received wire bytes (valid only for the duration of the call),
-  // so the monitor's MRT logger can write them without re-encoding.
+  // so the monitor's MRT logger can write them without re-encoding. `causes`
+  // is the message's provenance sideband (withdrawn-then-NLRI order; empty
+  // for untagged senders or when provenance is compiled out).
   using UpdateTap = std::function<void(TimePoint now, bgp::PeerId peer,
                                        bgp::Asn peer_asn,
                                        const bgp::UpdateMessage& update,
-                                       std::span<const std::uint8_t> wire)>;
+                                       std::span<const std::uint8_t> wire,
+                                       const obs::CauseVec& causes)>;
 
   Router(Scheduler& sched, RouterConfig config, std::uint64_t seed);
 
@@ -163,10 +167,18 @@ class Router : public LinkEndpoint {
   // Current CPU backlog (how far busy-until is ahead of now).
   Duration Backlog() const;
 
+  // Attaches the partition's provenance context: injection entry points
+  // (Originate, WithdrawLocal, InternalReset, SprayWithdrawals) stamp ops
+  // with the ambient cause, and emergent session events (hold-timer downs,
+  // organic re-dumps) allocate their own causes. Null detaches.
+  void SetProvenance(obs::ProvenanceContext* prov) { prov_ = prov; }
+
   // LinkEndpoint interface (driven by Link).
+  using LinkEndpoint::OnWireData;  // keep the 2-arg convenience visible
   void OnTransportUp(std::uint32_t peer) override;
   void OnTransportDown(std::uint32_t peer) override;
-  void OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes) override;
+  void OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes,
+                  obs::CauseVec causes) override;
 
  private:
   struct Peer {
@@ -201,18 +213,30 @@ class Router : public LinkEndpoint {
   void OnSessionUp(bgp::PeerId id);
   void OnSessionDown(bgp::PeerId id);
   void SendMessage(bgp::PeerId id, const bgp::Message& msg,
-                   bool priority = false);
+                   bool priority = false, obs::CauseVec causes = {});
+
+  // --- provenance ---
+  // The ambient cause at an injection entry point (null without a context).
+  obs::CauseTag AmbientCause() const {
+    return prov_ != nullptr ? prov_->Current() : obs::CauseTag{};
+  }
+  // Cause for a session-level event on `id`: the ambient cause if one is in
+  // scope, else the cause captured at the peer link's last Fail/Restore,
+  // else a freshly allocated emergent cause of `emergent_kind`.
+  obs::CauseTag SessionCause(bgp::PeerId id, obs::CauseKind emergent_kind);
 
   // --- update processing ---
-  void ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update);
+  void ProcessUpdate(bgp::PeerId from, const bgp::UpdateMessage& update,
+                     const obs::CauseVec& causes);
   // Charges the dampener for an announcement; true means "suppress it".
   bool DampenAnnounce(bgp::PeerId from, const Prefix& nlri,
                       const bgp::PathAttributes& attrs);
-  // Re-exports the new state of `prefix` to every eligible peer.
-  void PropagateChange(const Prefix& prefix);
+  // Re-exports the new state of `prefix` to every eligible peer, stamping
+  // emitted ops with `cause` (already depth-bumped for re-propagation).
+  void PropagateChange(const Prefix& prefix, obs::CauseTag cause);
   // Stateless pathology: spray a withdrawal at every established peer,
   // bypassing export policy and Adj-RIB-Out.
-  void BroadcastWithdraw(const Prefix& prefix);
+  void BroadcastWithdraw(const Prefix& prefix, obs::CauseTag cause);
   // Computes the route to announce to `peer` for `prefix`, or nullopt when
   // it must not be announced (split horizon, loop, policy deny).
   std::optional<bgp::PathAttributes> ExportRoute(const Peer& peer,
@@ -224,7 +248,7 @@ class Router : public LinkEndpoint {
       const Peer& peer, const Prefix& prefix, const bgp::Candidate& best) const;
   void EnqueueOp(bgp::PeerId id, bgp::RouteOp op);
   void FlushPeer(bgp::PeerId id);
-  void FullDump(bgp::PeerId id);
+  void FullDump(bgp::PeerId id, obs::CauseTag cause);
 
   // --- CPU model ---
   // Charges `cost` and returns the time at which the work completes.
@@ -276,6 +300,7 @@ class Router : public LinkEndpoint {
   obs::ProfileSite encode_site_;
   obs::ProfileSite decode_site_;
   obs::Tracer* tracer_ = nullptr;
+  obs::ProvenanceContext* prov_ = nullptr;
   bool backlog_high_ = false;  // above the keepalive-starvation threshold
 };
 

@@ -51,15 +51,55 @@ std::string MultiExchangeResult::Digest(
   // Series telemetry summary: the full JSONL is too large to commit, so the
   // digest pins its record count, byte count and CRC — one flipped byte in
   // any flush record (ordering, formatting, values) fails the comparison.
-  out += "timeseries.begin\n";
-  add("records", total_series_records);
-  add("bytes", merged_series.size());
-  std::snprintf(line, sizeof(line), "crc32=0x%08X\n",
-                Crc32({reinterpret_cast<const std::uint8_t*>(
-                           merged_series.data()),
-                       merged_series.size()}));
-  out += line;
-  out += "timeseries.end\n";
+  // A run with telemetry disabled (series_flush_interval zero, or capture
+  // off) omits the section entirely, so its digest is byte-identical to a
+  // build that never had the subsystem.
+  if (total_series_records != 0 || !merged_series.empty()) {
+    out += "timeseries.begin\n";
+    add("records", total_series_records);
+    add("bytes", merged_series.size());
+    std::snprintf(line, sizeof(line), "crc32=0x%08X\n",
+                  Crc32({reinterpret_cast<const std::uint8_t*>(
+                             merged_series.data()),
+                         merged_series.size()}));
+    out += line;
+    out += "timeseries.end\n";
+  }
+#if defined(IRI_PROVENANCE_ENABLED) && IRI_PROVENANCE_ENABLED
+  // Causal attribution rollup, merged in exchange order (the fixed-order
+  // contract: ShardProvenance::Merge is an iri_det aggregation sink). The
+  // matrix lines iterate (category, kind) in enum order and skip zero cells,
+  // so the text is a pure function of the counts.
+  {
+    obs::ShardProvenance rollup;
+    std::size_t causes = 0;
+    for (const ExchangeRun& run : exchanges) {
+      rollup.Merge(run.attribution.observed);
+      causes += run.attribution.causes.size();
+    }
+    out += "provenance.begin\n";
+    add("causes", causes);
+    add("attributed", rollup.attributed());
+    add("unattributed", rollup.unattributed());
+    add("depth_peak", rollup.depth_peak());
+    for (std::size_t c = 0; c < core::kNumCategories; ++c) {
+      for (std::size_t kind = 0; kind < obs::kNumCauseKinds; ++kind) {
+        std::uint64_t cell = 0;
+        for (std::size_t d = 0; d < obs::ShardProvenance::kDepthBuckets;
+             ++d) {
+          cell += rollup.MatrixAt(c, kind, d);
+        }
+        if (cell == 0) continue;
+        std::snprintf(line, sizeof(line), "attr.%s.%s=%llu\n",
+                      core::ToString(static_cast<core::Category>(c)),
+                      obs::ToString(static_cast<obs::CauseKind>(kind)),
+                      static_cast<unsigned long long>(cell));
+        out += line;
+      }
+    }
+    out += "provenance.end\n";
+  }
+#endif
   return out;
 }
 
@@ -100,6 +140,11 @@ MultiExchangeResult MultiExchangeRunner::Run() {
     if (config_.capture_series) {
       run.series = scenario.series().buffer();
       run.series_records = scenario.series().records();
+    }
+    if constexpr (obs::kProvenanceEnabled) {
+      scenario.monitor().classifier().MergeProvenanceInto(
+          run.attribution.observed);
+      run.attribution.causes = scenario.provenance().infos();
     }
   });
 

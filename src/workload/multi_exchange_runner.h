@@ -21,6 +21,7 @@
 
 #include "core/stats.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "workload/scenario.h"
 
 namespace iri::workload {
@@ -65,6 +66,12 @@ struct ExchangeRun {
   // name-ordered within each flush, flushes in sim-time order.
   std::string series;
   std::uint64_t series_records = 0;
+  // The exchange's causal attribution: the classifier's merged provenance
+  // matrix plus the cause table minted by this partition's scenario. Cause
+  // ids are partition-local (dense, allocation-ordered), so attribution is
+  // reported per exchange rather than renumbered into a global space.
+  // Empty when IRI_PROVENANCE=OFF.
+  obs::ExchangeAttribution attribution;
 };
 
 // Per-exchange results plus the fixed-order merge.

@@ -40,6 +40,7 @@ ExchangeScenario::ExchangeScenario(ScenarioConfig config,
 void ExchangeScenario::Build() {
   metrics_.SetWallClockProfiling(config_.profile_wall_clock);
   sched_.AttachMetrics(&metrics_);
+  prov_.SetTracer(&trace_);
 
   // --- route servers, one per exchange point ---
   const int k = std::max(1, config_.num_exchanges);
@@ -59,6 +60,7 @@ void ExchangeScenario::Build() {
     route_servers_.push_back(
         std::make_unique<sim::Router>(sched_, rs_cfg, rng_.Next()));
     route_servers_.back()->AttachObservability(&metrics_, &trace_);
+    route_servers_.back()->SetProvenance(&prov_);
     monitors_.push_back(std::make_unique<core::ExchangeMonitor>());
     monitors_.back()->Attach(*route_servers_.back());
     // Sharding before metrics: the per-shard depth instruments are sized by
@@ -142,7 +144,9 @@ void ExchangeScenario::Build() {
 
       auto link = std::make_unique<sim::Link>(sched_, config_.link_latency);
       router->AttachObservability(&metrics_, &trace_);
+      router->SetProvenance(&prov_);
       link->AttachObservability(&metrics_, &trace_, cfg.name);
+      link->SetProvenance(&prov_);
       router->AttachLink(*link, /*side_a=*/true, 7, bgp::Policy::AcceptAll(),
                          std::move(exp));
       route_servers_[static_cast<std::size_t>(e)]->AttachLink(
@@ -243,6 +247,7 @@ void ExchangeScenario::Bootstrap() {
   // Bring every exchange link up at t=0; BGP sessions establish within the
   // first few RTTs.
   sched_.At(TimePoint::Origin(), [this] {
+    obs::CauseScope scope(&prov_, obs::CauseKind::kBootstrap, sched_.Now());
     for (auto& per_provider : links_) {
       for (auto& link : per_provider) link->Restore();
     }
@@ -251,6 +256,7 @@ void ExchangeScenario::Bootstrap() {
   // Originate the world at t=2s: provider aggregates, visible customers,
   // aggregated components, and already-multihomed backups.
   sched_.At(TimePoint::Origin() + Duration::Seconds(2), [this] {
+    obs::CauseScope scope(&prov_, obs::CauseKind::kBootstrap, sched_.Now());
     for (std::size_t i = 0; i < universe_.providers.size(); ++i) {
       const auto& spec = universe_.providers[i];
       for (const Prefix& block : spec.aggregate_blocks) {
@@ -280,8 +286,11 @@ void ExchangeScenario::Bootstrap() {
     const auto& c = universe_.customers[ci];
     if (c.backup_provider >= 0 && c.multihomed_since > TimePoint::Origin() &&
         c.multihomed_since < TimePoint::Max()) {
-      sched_.At(c.multihomed_since,
-                [this, ci] { ActivateBackup(static_cast<int>(ci)); });
+      sched_.At(c.multihomed_since, [this, ci] {
+        obs::CauseScope scope(&prov_, obs::CauseKind::kMultihoming,
+                              sched_.Now());
+        ActivateBackup(static_cast<int>(ci));
+      });
     }
   }
 }
@@ -442,7 +451,8 @@ void ExchangeScenario::ScheduleProcesses() {
       [this, alternates_by, pick_provider_first, accept_boosted] {
         const int ci = pick_provider_first(alternates_by, {}, 0.0);
         if (ci >= 0 && accept_boosted(ci)) {
-          PathChangeBurst(ci, 1 + static_cast<int>(rng_.Below(4)));
+          PathChangeBurst(ci, 1 + static_cast<int>(rng_.Below(4)),
+                          obs::CauseTag{});
         }
       });
 
@@ -523,6 +533,11 @@ void ExchangeScenario::SeriesTick() {
 
 void ExchangeScenario::StartUpgradeIncident() {
   const int upg = config_.upgrade_provider;
+  // One cause covers the whole multi-day incident: the emergency-transit
+  // announcements, every session bounce, and the end-of-window withdrawals
+  // all trace back to this allocation.
+  upgrade_cause_ = prov_.Allocate(obs::CauseKind::kUpgrade, sched_.Now());
+  obs::CauseScope scope(&prov_, upgrade_cause_);
   // Customers of the upgrading ISP buy emergency transit: each visible
   // customer is temporarily announced by a second provider as well. The
   // route server sees the prefix with two paths — Figure 10's spike.
@@ -549,8 +564,10 @@ void ExchangeScenario::StartUpgradeIncident() {
   for (int k = 0; k < (config_.upgrade_end_day - config_.upgrade_start_day);
        ++k) {
     sched_.After(kDay * (k + 0.3), [this, upg] {
+      obs::CauseScope bounce(&prov_, upgrade_cause_);
       for (auto& link : links_[static_cast<std::size_t>(upg)]) link->Fail();
       sched_.After(Duration::Minutes(2 + 6 * rng_.Uniform()), [this, upg] {
+        obs::CauseScope inner(&prov_, upgrade_cause_);
         for (auto& link : links_[static_cast<std::size_t>(upg)]) {
           link->Restore();
         }
@@ -560,6 +577,7 @@ void ExchangeScenario::StartUpgradeIncident() {
 }
 
 void ExchangeScenario::EndUpgradeIncident() {
+  obs::CauseScope scope(&prov_, upgrade_cause_);
   for (int ci : upgrade_temporaries_) {
     const auto& c = universe_.customers[static_cast<std::size_t>(ci)];
     auto& st = customer_state_[static_cast<std::size_t>(ci)];
@@ -595,6 +613,24 @@ void ExchangeScenario::RunUntil(TimePoint t) {
   sched_.RunUntil(t);
   // Observation boundary: callers read monitors/digests right after a run.
   for (auto& monitor : monitors_) monitor->Drain();
+  if constexpr (obs::kProvenanceEnabled) {
+    // Registered only when compiled in, so an IRI_PROVENANCE=OFF build's
+    // snapshot is byte-identical to a never-enabled one.
+    obs::ShardProvenance combined;
+    for (auto& monitor : monitors_) {
+      monitor->classifier().MergeProvenanceInto(combined);
+    }
+    metrics_.GetGauge("provenance.causes")
+        .Set(static_cast<std::int64_t>(prov_.Count()));
+    metrics_.GetGauge("provenance.events_attributed")
+        .Set(static_cast<std::int64_t>(combined.attributed()));
+    metrics_.GetGauge("provenance.events_unattributed")
+        .Set(static_cast<std::int64_t>(combined.unattributed()));
+    metrics_
+        .GetGauge("provenance.depth_peak", obs::Stability::kDeterministic,
+                  obs::GaugeMerge::kMax)
+        .Set(static_cast<std::int64_t>(combined.depth_peak()));
+  }
 }
 
 double ExchangeScenario::TableShare(int provider) const {
@@ -613,12 +649,20 @@ void ExchangeScenario::CustomerFlap(int customer, bool failover) {
   if (!st.line_up || st.in_episode) return;
   const auto& c = universe_.customers[static_cast<std::size_t>(customer)];
   st.line_up = false;
-  WithdrawAt(c.primary_provider, c.prefix);
+  // One cause per flap: the withdrawal and the (possibly path-toggled)
+  // repair announcement share it, so WADup/WADiff pairs attribute together.
+  const obs::CauseTag cause = prov_.Allocate(
+      failover ? obs::CauseKind::kFailover : obs::CauseKind::kCustomerFlap,
+      sched_.Now());
+  {
+    obs::CauseScope scope(&prov_, cause);
+    WithdrawAt(c.primary_provider, c.prefix);
+  }
   const Duration mean =
       failover ? config_.mean_failover_repair : config_.mean_repair_time;
   Duration repair = Duration::Seconds(
       std::max(5.0, rng_.Exponential(mean.ToSeconds())));
-  sched_.After(repair, [this, customer] {
+  sched_.After(repair, [this, customer, cause] {
     auto& state = customer_state_[static_cast<std::size_t>(customer)];
     if (state.in_episode || state.line_up) return;
     state.line_up = true;
@@ -629,25 +673,36 @@ void ExchangeScenario::CustomerFlap(int customer, bool failover) {
         rng_.Uniform() < config_.csu_path_toggle_prob) {
       state.on_alternate = !state.on_alternate;
     }
+    obs::CauseScope scope(&prov_, cause);
     OriginateAt(cust.primary_provider,
                 CustomerRoute(customer, /*via_primary=*/true,
                               state.on_alternate));
   });
 }
 
-void ExchangeScenario::PathChangeBurst(int customer, int flips_left) {
+void ExchangeScenario::PathChangeBurst(int customer, int flips_left,
+                                       obs::CauseTag cause) {
   auto& st = customer_state_[static_cast<std::size_t>(customer)];
   if (!st.line_up || st.in_episode) return;
   const auto& c = universe_.customers[static_cast<std::size_t>(customer)];
+  // Allocate lazily so a burst suppressed by the guards above never mints a
+  // cause; every re-flip of the settle transient reuses the first one.
+  if (cause.IsNull()) {
+    cause = prov_.Allocate(obs::CauseKind::kPathChange, sched_.Now());
+  }
   st.on_alternate = !st.on_alternate;
-  OriginateAt(c.primary_provider,
-              CustomerRoute(customer, /*via_primary=*/true, st.on_alternate));
+  {
+    obs::CauseScope scope(&prov_, cause);
+    OriginateAt(c.primary_provider,
+                CustomerRoute(customer, /*via_primary=*/true,
+                              st.on_alternate));
+  }
   if (flips_left > 1) {
     // The settle transient re-flips on the next flush tick or two.
     const double multiple = rng_.Bernoulli(0.7) ? 1.0 : 2.0;
     sched_.After(config_.flush_interval * multiple,
-                 [this, customer, flips_left] {
-                   PathChangeBurst(customer, flips_left - 1);
+                 [this, customer, flips_left, cause] {
+                   PathChangeBurst(customer, flips_left - 1, cause);
                  });
   }
 }
@@ -656,6 +711,8 @@ void ExchangeScenario::StartCsuEpisode(int customer) {
   auto& st = customer_state_[static_cast<std::size_t>(customer)];
   if (st.in_episode || !st.line_up) return;
   st.in_episode = true;
+  st.episode_cause =
+      prov_.Allocate(obs::CauseKind::kCsuEpisode, sched_.Now());
   if (rng_.Bernoulli(0.5)) {
     // Fast beat: both carrier loss and recovery inside one flush window.
     st.episode_down_frac = 0.6 + 0.2 * rng_.Uniform();
@@ -677,6 +734,9 @@ void ExchangeScenario::CsuBeat(int customer, TimePoint episode_end,
                                bool down) {
   auto& st = customer_state_[static_cast<std::size_t>(customer)];
   const auto& c = universe_.customers[static_cast<std::size_t>(customer)];
+  // Every beat of the episode — carrier losses, recoveries, and the final
+  // restore — shares the cause minted at episode start.
+  obs::CauseScope scope(&prov_, st.episode_cause);
   if (sched_.Now() >= episode_end) {
     // Episode over: restore the line.
     if (!st.line_up) {
@@ -729,6 +789,8 @@ void ExchangeScenario::StartOscillationEpisode(int customer) {
   auto& st = customer_state_[static_cast<std::size_t>(customer)];
   if (st.in_episode || !st.line_up) return;
   st.in_episode = true;
+  st.episode_cause =
+      prov_.Allocate(obs::CauseKind::kOscillation, sched_.Now());
   const auto& cust = universe_.customers[static_cast<std::size_t>(customer)];
   const double mean_s = config_.mean_episode_length.ToSeconds() *
                         (cust.flappy ? config_.flappy_episode_multiplier : 1.0);
@@ -740,6 +802,7 @@ void ExchangeScenario::StartOscillationEpisode(int customer) {
 void ExchangeScenario::OscillationBeat(int customer, TimePoint episode_end) {
   auto& st = customer_state_[static_cast<std::size_t>(customer)];
   const auto& c = universe_.customers[static_cast<std::size_t>(customer)];
+  obs::CauseScope scope(&prov_, st.episode_cause);
   if (sched_.Now() >= episode_end || !st.line_up) {
     // Settle back on the direct path.
     if (st.on_alternate && st.line_up) {
@@ -766,6 +829,8 @@ void ExchangeScenario::PolicyFluctuate(int customer) {
   if (!st.line_up || st.in_episode) return;
   const auto& c = universe_.customers[static_cast<std::size_t>(customer)];
   ++st.policy_serial;
+  obs::CauseScope scope(&prov_, obs::CauseKind::kPolicyFluctuation,
+                        sched_.Now());
   OriginateAt(c.primary_provider,
               CustomerRoute(customer, true, st.on_alternate));
 }
@@ -773,11 +838,15 @@ void ExchangeScenario::PolicyFluctuate(int customer) {
 void ExchangeScenario::StartInternalResetEpisode(int provider) {
   const int beats =
       1 + static_cast<int>(rng_.Exponential(config_.internal_reset_beats_mean));
-  InternalResetBeat(provider, beats);
+  InternalResetBeat(
+      provider, beats,
+      prov_.Allocate(obs::CauseKind::kInternalReset, sched_.Now()));
 }
 
-void ExchangeScenario::InternalResetBeat(int provider, int beats_left) {
+void ExchangeScenario::InternalResetBeat(int provider, int beats_left,
+                                         obs::CauseTag cause) {
   if (beats_left <= 0) return;
+  obs::CauseScope scope(&prov_, cause);
   for (auto& border : borders_[static_cast<std::size_t>(provider)]) {
     border->InternalReset(config_.internal_reset_dirty_fraction);
   }
@@ -797,8 +866,8 @@ void ExchangeScenario::InternalResetBeat(int provider, int beats_left) {
       border->SprayWithdrawals(sample);
     }
   }
-  sched_.After(config_.flush_interval, [this, provider, beats_left] {
-    InternalResetBeat(provider, beats_left - 1);
+  sched_.After(config_.flush_interval, [this, provider, beats_left, cause] {
+    InternalResetBeat(provider, beats_left - 1, cause);
   });
 }
 
@@ -814,9 +883,20 @@ void ExchangeScenario::MaintenanceWindow(int day) {
       const Duration offset =
           Duration::Hours(config_.maintenance_window_h) * rng_.Uniform();
       sched_.At(base + offset, [this, i, e] {
-        links_[i][e]->Fail();
+        // Minted at fire time (not scheduling time) so the injection
+        // timestamp matches the fault, and captured so the restore half of
+        // the bounce shares it.
+        const obs::CauseTag cause =
+            prov_.Allocate(obs::CauseKind::kMaintenance, sched_.Now());
+        {
+          obs::CauseScope scope(&prov_, cause);
+          links_[i][e]->Fail();
+        }
         const Duration outage = Duration::Seconds(60 + 120 * rng_.Uniform());
-        sched_.After(outage, [this, i, e] { links_[i][e]->Restore(); });
+        sched_.After(outage, [this, i, e, cause] {
+          obs::CauseScope scope(&prov_, cause);
+          links_[i][e]->Restore();
+        });
       });
     }
   }
@@ -849,6 +929,7 @@ void ExchangeScenario::PathoSpray() {
           universe_.customers[static_cast<std::size_t>(ci)].prefix);
     }
   }
+  obs::CauseScope scope(&prov_, obs::CauseKind::kPathoSpray, sched_.Now());
   for (auto& border : borders_[static_cast<std::size_t>(patho_provider_)]) {
     border->SprayWithdrawals(prefixes);
   }

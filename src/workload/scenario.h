@@ -32,6 +32,7 @@
 #include "core/monitor.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/link.h"
@@ -208,6 +209,11 @@ class ExchangeScenario {
   obs::SeriesFlusher& series() { return series_; }
   const obs::SeriesFlusher& series() const { return series_; }
   const obs::HealthMonitor* health() const { return health_.get(); }
+  // The partition's cause allocator: fault handlers scope causes here, and
+  // every router and link holds a pointer. Exposed so the runner can join
+  // the cause table with the classifier's attribution matrix.
+  obs::ProvenanceContext& provenance() { return prov_; }
+  const obs::ProvenanceContext& provenance() const { return prov_; }
 
   // Fraction of the *visible* default-free table this provider is
   // responsible for today (Figure 6's x-axis).
@@ -233,6 +239,10 @@ class ExchangeScenario {
     // one up) produce 60 s trains through everyone.
     double episode_down_frac = 1.0;
     double episode_up_frac = 1.0;
+    // The cause allocated at episode start; every beat re-scopes it so the
+    // whole episode's updates attribute to one root. Zero bytes when
+    // provenance is compiled out.
+    [[no_unique_address]] obs::CauseTag episode_cause;
   };
 
   void Build();
@@ -259,15 +269,16 @@ class ExchangeScenario {
   // --- event handlers ---
   void CustomerFlap(int customer, bool failover);
   // A convergence transient: flips to the alternate path and settles back
-  // over a few flush intervals (burst of 1-5 AADiffs).
-  void PathChangeBurst(int customer, int flips_left);
+  // over a few flush intervals (burst of 1-5 AADiffs). The whole burst
+  // scopes `cause` (allocated by the Poisson arrival that starts it).
+  void PathChangeBurst(int customer, int flips_left, obs::CauseTag cause);
   void StartCsuEpisode(int customer);
   void CsuBeat(int customer, TimePoint episode_end, bool down);
   void StartOscillationEpisode(int customer);
   void OscillationBeat(int customer, TimePoint episode_end);
   void PolicyFluctuate(int customer);
   void StartInternalResetEpisode(int provider);
-  void InternalResetBeat(int provider, int beats_left);
+  void InternalResetBeat(int provider, int beats_left, obs::CauseTag cause);
   void MaintenanceWindow(int day);
   void SaturdaySpike(int day);
   void PathoSpray();
@@ -291,6 +302,9 @@ class ExchangeScenario {
   // pointers; health caches registry gauges).
   obs::Registry metrics_;
   obs::Tracer trace_;
+  // Cause allocator for this partition; same lifetime tier as the registry
+  // (routers and links cache a pointer to it).
+  obs::ProvenanceContext prov_;
   obs::SeriesFlusher series_;
   std::unique_ptr<obs::HealthMonitor> health_;
   // Cached series instruments the flush tick samples for the health feed.
@@ -319,6 +333,9 @@ class ExchangeScenario {
   // resets (empty for stateful providers).
   std::vector<std::vector<Prefix>> foreign_leak_sets_;
   std::vector<int> upgrade_temporaries_;  // customers dual-announced ad hoc
+  // The upgrade incident's cause: allocated at incident start, re-scoped by
+  // every bounce and by the cleanup at incident end.
+  [[no_unique_address]] obs::CauseTag upgrade_cause_;
   std::vector<int> patho_table_;   // customer indices the patho ISP carries
   int patho_provider_ = -1;
   double saturday_boost_ = 1.0;    // active spike multiplier

@@ -80,6 +80,31 @@ TEST(Registry, WallClockInstrumentsExcludedByDefault) {
   EXPECT_NE(with_wall.find("counter wall 99"), std::string::npos);
 }
 
+TEST(Registry, SnapshotSuppressesNeverFiredProfileSites) {
+  Registry reg;
+  // A registered-but-never-fired site: all three instruments exist with
+  // zero calls. Pure registration noise — the snapshot must drop the whole
+  // triple, not advertise a site that contributed nothing.
+  reg.GetCounter("profile.idle.calls");
+  reg.GetCounter("profile.idle.items");
+  reg.GetCounter("profile.idle.wall_ns");
+  // A live site next to it must survive untouched.
+  reg.GetCounter("profile.busy.calls").Add(3);
+  reg.GetCounter("profile.busy.items").Add(12);
+  // Zero-valued non-profile counters and a zero `.calls` without the
+  // profile. prefix must NOT be suppressed.
+  reg.GetCounter("monitor.messages");
+  reg.GetCounter("rpc.calls");
+  const std::string snap = reg.SnapshotText();
+  EXPECT_EQ(snap.find("profile.idle"), std::string::npos)
+      << "zero-call profile site leaked into the snapshot:\n"
+      << snap;
+  EXPECT_NE(snap.find("counter profile.busy.calls 3"), std::string::npos);
+  EXPECT_NE(snap.find("counter profile.busy.items 12"), std::string::npos);
+  EXPECT_NE(snap.find("counter monitor.messages 0"), std::string::npos);
+  EXPECT_NE(snap.find("counter rpc.calls 0"), std::string::npos);
+}
+
 TEST(Registry, PrefixFilterSelectsSubtree) {
   Registry reg;
   reg.GetCounter("monitor.messages").Add(2);

@@ -12,8 +12,8 @@ class FakeEndpoint : public LinkEndpoint {
  public:
   void OnTransportUp(std::uint32_t peer) override { ups.push_back(peer); }
   void OnTransportDown(std::uint32_t peer) override { downs.push_back(peer); }
-  void OnWireData(std::uint32_t peer,
-                  std::vector<std::uint8_t> bytes) override {
+  void OnWireData(std::uint32_t peer, std::vector<std::uint8_t> bytes,
+                  obs::CauseVec /*causes*/) override {
     received.emplace_back(peer, std::move(bytes));
   }
 

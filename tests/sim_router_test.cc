@@ -249,7 +249,8 @@ struct TapCounter {
   void Attach(Router& router) {
     router.SetUpdateTap([this](TimePoint, bgp::PeerId, bgp::Asn,
                                const bgp::UpdateMessage& u,
-                               std::span<const std::uint8_t>) {
+                               std::span<const std::uint8_t>,
+                               const obs::CauseVec&) {
       announced += u.nlri.size();
       withdrawn += u.withdrawn.size();
     });
@@ -495,7 +496,8 @@ TEST(Router, UpdateTapSeesInboundUpdates) {
   std::vector<bgp::Asn> tap_asns;
   b.SetUpdateTap([&tap_asns](TimePoint, bgp::PeerId, bgp::Asn asn,
                              const bgp::UpdateMessage&,
-                             std::span<const std::uint8_t>) {
+                             std::span<const std::uint8_t>,
+                             const obs::CauseVec&) {
     tap_asns.push_back(asn);
   });
   a.Originate(LocalRoute("192.42.113.0/24"));

@@ -1,0 +1,36 @@
+// Bad: a provenance attribution table that keeps its per-cause tallies in a
+// std::unordered_map keyed by cause id and merges them by iterating the map.
+// The iteration order is the hash layout, so the combined blast-radius
+// rollup — which is what reaches the attribution digest section — depends on
+// pointer/seed accidents instead of being a pure function of (seed, config).
+// The per-shard aggregation-root rule (Shard*::totals / Shard*::Merge* are
+// sinks) must catch it even though no Snapshot/Digest name appears here.
+//
+// det-expect: unordered-in-output
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace iri::obs {
+
+class FxShardProvenanceTally {
+ public:
+  void Record(std::uint32_t cause_id, std::uint64_t updates) {
+    per_cause_[cause_id] += updates;
+  }
+  std::vector<std::uint64_t> totals() const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> per_cause_;
+};
+
+std::vector<std::uint64_t> FxShardProvenanceTally::totals() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& kv : per_cause_) {
+    out.push_back(kv.second);
+  }
+  return out;
+}
+
+}  // namespace iri::obs
